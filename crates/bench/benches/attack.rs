@@ -1,0 +1,93 @@
+//! Criterion benchmarks for the attacks themselves, on instances small
+//! enough for statistical repetition.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polykey_attack::{
+    multi_key_attack, sat_attack, MultiKeyConfig, SatAttackConfig, SimOracle,
+};
+use polykey_circuits::Iscas85;
+use polykey_locking::{lock_rll, lock_sarlock_with_key, Key, SarlockConfig};
+use rand::SeedableRng;
+
+fn bench_sat_attack_rll(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack/rll");
+    group.sample_size(10);
+    let original = Iscas85::C432.build();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let locked = lock_rll(&original, 16, &mut rng).expect("lockable");
+    let mut cfg = SatAttackConfig::new();
+    cfg.record_dips = false;
+    group.bench_function("sat_rll16_c432", |b| {
+        b.iter(|| {
+            let mut oracle = SimOracle::new(&original).expect("oracle");
+            let outcome = sat_attack(&locked.netlist, &mut oracle, &cfg).expect("runs");
+            assert!(outcome.is_success());
+            black_box(outcome.stats.dips)
+        })
+    });
+    group.finish();
+}
+
+fn bench_sat_attack_sarlock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack/sat_sarlock_c432");
+    group.sample_size(10);
+    let original = Iscas85::C432.build();
+    for kw in [4usize, 6] {
+        let locked = lock_sarlock_with_key(
+            &original,
+            &SarlockConfig::new(kw),
+            &Key::from_u64(0b1010, kw),
+        )
+        .expect("lockable");
+        let mut cfg = SatAttackConfig::new();
+        cfg.record_dips = false;
+        group.bench_with_input(BenchmarkId::from_parameter(kw), &locked, |b, locked| {
+            b.iter(|| {
+                let mut oracle = SimOracle::new(&original).expect("oracle");
+                let outcome = sat_attack(&locked.netlist, &mut oracle, &cfg).expect("runs");
+                black_box(outcome.stats.dips)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_multikey_vs_baseline(c: &mut Criterion) {
+    // The headline comparison, in miniature: SARLock |K|=6 on c432,
+    // baseline vs N=2 (sequential, to measure CPU work rather than
+    // parallel wall time).
+    let original = Iscas85::C432.build();
+    let locked = lock_sarlock_with_key(
+        &original,
+        &SarlockConfig::new(6),
+        &Key::from_u64(0b110101, 6),
+    )
+    .expect("lockable");
+
+    let mut group = c.benchmark_group("attack/multikey_sarlock6_c432");
+    group.sample_size(10);
+    for n in [0usize, 2] {
+        group.bench_with_input(BenchmarkId::new("split", n), &n, |b, &n| {
+            let mut cfg = MultiKeyConfig::with_split_effort(n);
+            cfg.parallel = false;
+            cfg.sat.record_dips = false;
+            b.iter(|| {
+                let outcome =
+                    multi_key_attack(&locked.netlist, &original, &cfg).expect("runs");
+                assert!(outcome.is_complete());
+                black_box(outcome.keys.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sat_attack_rll,
+    bench_sat_attack_sarlock,
+    bench_multikey_vs_baseline
+);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks for the CDCL solver.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polykey_sat::{ClauseSink, CnfFormula, Lit, SolveResult, Var};
+
+/// Pigeonhole principle: n pigeons into n-1 holes (unsat, resolution-hard).
+fn pigeonhole(n: usize) -> CnfFormula {
+    let m = n - 1;
+    let mut f = CnfFormula::new();
+    let p: Vec<Vec<Lit>> =
+        (0..n).map(|_| (0..m).map(|_| f.new_var().positive()).collect()).collect();
+    for row in &p {
+        f.add_clause(row);
+    }
+    for j in 0..m {
+        for i1 in 0..n {
+            for i2 in (i1 + 1)..n {
+                f.add_clause(&[!p[i1][j], !p[i2][j]]);
+            }
+        }
+    }
+    f
+}
+
+/// Deterministic random 3-SAT at the given clause/variable ratio.
+fn random_3sat(vars: usize, ratio: f64, seed: u64) -> CnfFormula {
+    let mut f = CnfFormula::new();
+    f.set_num_vars(vars);
+    let m = (vars as f64 * ratio) as usize;
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state
+    };
+    for _ in 0..m {
+        let mut clause = Vec::with_capacity(3);
+        while clause.len() < 3 {
+            let v = Var::new((next() >> 33) as u32 % vars as u32);
+            if clause.iter().any(|l: &Lit| l.var() == v) {
+                continue;
+            }
+            clause.push(Lit::new(v, next() % 2 == 0));
+        }
+        f.add_clause(&clause);
+    }
+    f
+}
+
+fn bench_pigeonhole(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/pigeonhole");
+    group.sample_size(10);
+    for n in [6usize, 7, 8] {
+        let f = pigeonhole(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &f, |b, f| {
+            b.iter(|| {
+                let mut s = f.to_solver();
+                assert_eq!(s.solve(&[]), SolveResult::Unsat);
+                black_box(s.stats().conflicts)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_3sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/random3sat");
+    group.sample_size(20);
+    for vars in [100usize, 150] {
+        let f = random_3sat(vars, 4.1, 0xBEEF);
+        group.bench_with_input(BenchmarkId::from_parameter(vars), &f, |b, f| {
+            b.iter(|| {
+                let mut s = f.to_solver();
+                black_box(s.solve(&[]))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_assumptions(c: &mut Criterion) {
+    // Repeated solves under flipping assumptions — the SAT attack's usage
+    // pattern.
+    let f = random_3sat(120, 3.0, 7); // satisfiable region
+    let mut group = c.benchmark_group("solver/incremental");
+    group.sample_size(30);
+    group.bench_function("assumptions", |b| {
+        let mut s = f.to_solver();
+        let mut i = 0u32;
+        b.iter(|| {
+            let v = Var::new(i % 120);
+            i += 1;
+            black_box(s.solve(&[v.positive()]))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pigeonhole, bench_random_3sat, bench_incremental_assumptions);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks for the netlist substrate: simulation
+//! throughput, re-synthesis, and CNF encoding.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use polykey_circuits::Iscas85;
+use polykey_encode::{encode, Binding};
+use polykey_netlist::{cofactor_simplify, simplify, Simulator};
+use polykey_sat::CnfFormula;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netlist/sim_packed");
+    for bench in [Iscas85::C880, Iscas85::C6288, Iscas85::C7552] {
+        let nl = bench.build();
+        let inputs = vec![0xA5A5_5A5A_DEAD_BEEFu64; nl.inputs().len()];
+        // 64 patterns per eval.
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::from_parameter(bench.name()), &nl, |b, nl| {
+            let mut sim = Simulator::new(nl).expect("acyclic");
+            b.iter(|| black_box(sim.eval_packed(&inputs, &[])))
+        });
+    }
+    group.finish();
+}
+
+fn bench_simplify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netlist/simplify");
+    group.sample_size(20);
+    for bench in [Iscas85::C880, Iscas85::C7552] {
+        let nl = bench.build();
+        group.bench_with_input(BenchmarkId::from_parameter(bench.name()), &nl, |b, nl| {
+            b.iter(|| black_box(simplify(nl).expect("acyclic").1.gates_after))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cofactor_simplify(c: &mut Criterion) {
+    // The per-term netlist preparation of Algorithm 1.
+    let nl = Iscas85::C7552.build();
+    let pins: Vec<_> = nl.inputs()[..4].iter().map(|&id| (id, true)).collect();
+    let mut group = c.benchmark_group("netlist/cofactor_simplify");
+    group.sample_size(20);
+    group.bench_function("c7552_n4", |b| {
+        b.iter(|| black_box(cofactor_simplify(&nl, &pins).expect("valid").1.gates_after))
+    });
+    group.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode/tseitin");
+    group.sample_size(30);
+    for bench in [Iscas85::C880, Iscas85::C7552] {
+        let nl = bench.build();
+        group.bench_with_input(BenchmarkId::from_parameter(bench.name()), &nl, |b, nl| {
+            b.iter(|| {
+                let mut f = CnfFormula::new();
+                let enc = encode(&mut f, nl, &Binding::fresh(nl)).expect("valid");
+                black_box((enc.outputs.len(), f.num_clauses()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_simplify, bench_cofactor_simplify, bench_encode);
+criterion_main!(benches);

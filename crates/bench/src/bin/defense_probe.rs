@@ -1,0 +1,104 @@
+//! Defense probe — the paper's future-work direction ("creating effective
+//! defenses to counter the new multi-key attack scenario"), made concrete.
+//!
+//! ```text
+//! cargo run --release -p polykey-bench --bin defense_probe
+//! ```
+//!
+//! Hypothesis: the multi-key attack's leverage on SARLock comes from the
+//! comparator reading *primary inputs* — pinning a compared input halves
+//! the reachable comparator domain, so `#DIP` halves per splitting level.
+//! If the comparator instead reads *internal* signals (deep nets that no
+//! small set of inputs determines), cofactoring cannot bisect the key
+//! space and the splitting advantage should collapse.
+//!
+//! The probe locks the same circuit both ways with the same key width and
+//! reports `#DIP` for N = 0..3.
+
+use polykey_attack::{multi_key_attack, MultiKeyConfig, SplitStrategy};
+use polykey_bench::{fmt_duration, HarnessArgs, TextTable};
+use polykey_circuits::Iscas85;
+use polykey_locking::{
+    lock_sarlock_on_signals, lock_sarlock_with_key, Key, SarlockConfig,
+};
+use polykey_netlist::analysis::levels;
+use polykey_netlist::{Netlist, NodeId};
+
+/// Picks `n` deep internal nets, spread across the circuit.
+fn deep_signals(nl: &Netlist, n: usize) -> Vec<NodeId> {
+    let lv = levels(nl).expect("acyclic");
+    let out_cones: Vec<bool> = {
+        // Avoid nets inside any output's fanout cone (outputs are sinks in
+        // these benchmarks, so this only excludes the outputs themselves).
+        let mut mask = vec![false; nl.num_nodes()];
+        for &o in nl.outputs() {
+            mask[o.index()] = true;
+        }
+        mask
+    };
+    let mut candidates: Vec<NodeId> = nl
+        .node_ids()
+        .filter(|&id| {
+            !nl.node(id).kind().is_input()
+                && !out_cones[id.index()]
+                && lv[id.index()] >= 3
+        })
+        .collect();
+    // Deterministic spread: sort by level descending, then stride.
+    candidates.sort_by_key(|id| std::cmp::Reverse(lv[id.index()]));
+    let stride = (candidates.len() / n.max(1)).max(1);
+    candidates.into_iter().step_by(stride).take(n).collect()
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let kw = 6usize;
+    let circuit = if args.full { Iscas85::C7552 } else { Iscas85::C880 };
+    let original = circuit.build();
+    let key = Key::from_u64(args.seed.unwrap_or(0b101101) & ((1 << kw) - 1), kw);
+
+    println!("Defense probe: SARLock |K| = {kw} on {circuit}");
+    println!("attack = multi-key, fan-out-cone splitting, N = 0..3\n");
+
+    let input_locked =
+        lock_sarlock_with_key(&original, &SarlockConfig::new(kw), &key).expect("lockable");
+    let signals = deep_signals(&original, kw);
+    let names: Vec<&str> = signals.iter().map(|&s| original.node_name(s)).collect();
+    println!("internal comparator nets: {names:?}\n");
+    let internal_locked =
+        lock_sarlock_on_signals(&original, &signals, &key, None).expect("lockable");
+
+    let mut table = TextTable::new(vec![
+        "variant",
+        "N=0 #DIP",
+        "N=1 #DIP",
+        "N=2 #DIP",
+        "N=3 #DIP",
+        "N=3 max time",
+    ]);
+    for (label, locked) in [
+        ("SARLock on inputs (paper)", &input_locked.netlist),
+        ("SARLock on internal nets (defense)", &internal_locked.netlist),
+    ] {
+        let mut row = vec![label.to_string()];
+        let mut last_time = String::new();
+        for n in 0..=3usize {
+            let mut cfg = MultiKeyConfig::with_split_effort(n);
+            cfg.strategy = SplitStrategy::FanoutCone;
+            cfg.parallel = true;
+            cfg.sat.record_dips = false;
+            let outcome = multi_key_attack(locked, &original, &cfg).expect("runs");
+            assert!(outcome.is_complete(), "{label} N={n}");
+            let max_dips = outcome.reports.iter().map(|r| r.dips).max().unwrap_or(0);
+            row.push(format!("{max_dips}"));
+            last_time = fmt_duration(outcome.max_task_time());
+        }
+        row.push(last_time);
+        table.row(row);
+    }
+    println!("{}", table.render());
+    println!("input-comparator #DIP halves per split level; the internal-net");
+    println!("variant resists splitting because no small set of input ports");
+    println!("pins the comparator's observed value.");
+    args.maybe_write_csv(&table);
+}

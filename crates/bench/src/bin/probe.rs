@@ -1,0 +1,78 @@
+//! Diagnostic probe for Table-2 shape tuning (not part of the paper's
+//! tables): measures baseline vs per-term cost across LUT sizes and
+//! simplification settings on one circuit.
+//!
+//! ```text
+//! cargo run --release -p polykey-bench --bin probe -- --seed 2
+//! ```
+
+use std::time::Duration;
+
+use polykey_attack::{
+    multi_key_attack, sat_attack, MultiKeyConfig, SatAttackConfig, SimOracle, SplitStrategy,
+};
+use polykey_bench::{fmt_duration, HarnessArgs};
+use polykey_circuits::Iscas85;
+use polykey_locking::{lock_lut, LutConfig};
+use rand::SeedableRng;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let seed = args.seed.unwrap_or(0x7AB1E2);
+    let cap = Duration::from_secs(args.time_cap.unwrap_or(180));
+    let circuit = if args.full { Iscas85::C6288 } else { Iscas85::C880 };
+    let original = circuit.build();
+
+    for (label, cfg) in [
+        ("8+8+8=24 keys", LutConfig { stage1: vec![3, 3], stage2_extra: 1 }),
+        ("16+16+16=48 keys", LutConfig { stage1: vec![4, 4], stage2_extra: 2 }),
+        ("32+32+16=80 keys", LutConfig { stage1: vec![5, 5], stage2_extra: 2 }),
+    ] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let locked = match lock_lut(&original, &cfg, &mut rng) {
+            Ok(l) => l,
+            Err(e) => {
+                println!("{label}: cannot lock ({e})");
+                continue;
+            }
+        };
+        let mut base_cfg = SatAttackConfig::new();
+        base_cfg.record_dips = false;
+        base_cfg.time_limit = Some(cap);
+        let mut oracle = SimOracle::new(&original).expect("oracle");
+        let baseline =
+            sat_attack(&locked.netlist, &mut oracle, &base_cfg).expect("runs");
+        println!(
+            "{} on {}: baseline {} ({} DIPs, {:?}, {} conflicts)",
+            label,
+            circuit,
+            fmt_duration(baseline.stats.wall_time),
+            baseline.stats.dips,
+            baseline.status,
+            baseline.stats.solver.conflicts
+        );
+        for simplify in [true, false] {
+            let mut mk = MultiKeyConfig::with_split_effort(4);
+            mk.strategy = SplitStrategy::FanoutCone;
+            mk.simplify = simplify;
+            mk.parallel = true;
+            mk.sat.record_dips = false;
+            mk.sat.time_limit = Some(cap);
+            let outcome =
+                multi_key_attack(&locked.netlist, &original, &mk).expect("runs");
+            let max_dips = outcome.reports.iter().map(|r| r.dips).max().unwrap_or(0);
+            let gates: Vec<usize> =
+                outcome.reports.iter().map(|r| r.gates_after).collect();
+            println!(
+                "  N=4 simplify={simplify}: min {} mean {} max {} (max {} DIPs, gates {}..{}, complete={})",
+                fmt_duration(outcome.min_task_time()),
+                fmt_duration(outcome.mean_task_time()),
+                fmt_duration(outcome.max_task_time()),
+                max_dips,
+                gates.iter().min().unwrap(),
+                gates.iter().max().unwrap(),
+                outcome.is_complete(),
+            );
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Regenerates Table 2: runtime of attacking LUT-based insertion —
+//! baseline SAT attack vs the multi-key attack with N = 4 (16 terms).
+//!
+//! ```text
+//! cargo run --release -p polykey-bench --bin table2             # 24-key LUTs
+//! cargo run --release -p polykey-bench --bin table2 -- --quick  # 4 circuits
+//! cargo run --release -p polykey-bench --bin table2 -- --full   # paper-scale 144-key LUTs
+//! cargo run --release -p polykey-bench --bin table2 -- --time-cap 1200
+//! ```
+//!
+//! Expected shape (paper): the baseline attack is much slower than the
+//! slowest of the 16 sub-tasks on most circuits; `max/baseline < 1/16`
+//! (the break-even of running 16 terms on one core) for the majority of
+//! the suite, with outliers (c5315 in the paper) possible.
+//!
+//! Absolute numbers differ from the paper (different hardware, solver and
+//! stand-in netlists); EXPERIMENTS.md compares the shapes.
+
+use std::time::Duration;
+
+use polykey_attack::{
+    multi_key_attack, sat_attack, AttackStatus, MultiKeyConfig, SatAttackConfig, SimOracle,
+    SplitStrategy,
+};
+use polykey_bench::{fmt_duration, HarnessArgs, TextTable};
+use polykey_circuits::Iscas85;
+use polykey_locking::{lock_lut, LutConfig};
+use rand::SeedableRng;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let lut_config = if args.full { LutConfig::paper() } else { LutConfig::small() };
+    let circuits: Vec<Iscas85> = if args.quick {
+        vec![Iscas85::C880, Iscas85::C1355, Iscas85::C1908, Iscas85::C6288]
+    } else {
+        Iscas85::table2_set().to_vec()
+    };
+    let time_cap = Duration::from_secs(args.time_cap.unwrap_or(600));
+    let seed = args.seed.unwrap_or(0x7AB1E2);
+
+    println!(
+        "Table 2: runtime of attacking LUT-based insertion ({} key bits, {} tapped nets)",
+        lut_config.key_bits(),
+        lut_config.module_inputs()
+    );
+    println!("baseline = plain SAT attack; this work = 16 parallel terms at N = 4");
+    println!("per-attack time cap: {} (cells show >cap when hit)\n", fmt_duration(time_cap));
+
+    let mut table = TextTable::new(vec![
+        "Circuit",
+        "Baseline",
+        "Minimum",
+        "Mean",
+        "Maximum",
+        "Maximum/Baseline",
+    ]);
+
+    for bench in circuits {
+        let original = bench.build();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let locked = lock_lut(&original, &lut_config, &mut rng).expect("lockable");
+        eprintln!(
+            "{}: locked with {} key bits ({} gates -> {})",
+            bench,
+            locked.key.len(),
+            original.num_gates(),
+            locked.netlist.num_gates()
+        );
+
+        // Baseline: the conventional SAT attack on the whole circuit, in
+        // the textbook formulation (full circuit copies per DIP) that the
+        // paper's tooling uses; `--fold` would be the optimized engine.
+        let mut baseline_cfg = SatAttackConfig::textbook();
+        baseline_cfg.time_limit = Some(time_cap);
+        baseline_cfg.record_dips = false;
+        let mut oracle = SimOracle::new(&original).expect("keyless oracle");
+        let baseline = sat_attack(&locked.netlist, &mut oracle, &baseline_cfg)
+            .expect("attack runs");
+        let baseline_capped = baseline.status == AttackStatus::TimeLimit;
+        let baseline_time = baseline.stats.wall_time;
+        eprintln!(
+            "  baseline: {} ({} DIPs, status {:?})",
+            fmt_duration(baseline_time),
+            baseline.stats.dips,
+            baseline.status
+        );
+
+        // This work: N = 4, 16 parallel terms.
+        let mut config = MultiKeyConfig::with_split_effort(4);
+        config.strategy = SplitStrategy::FanoutCone;
+        config.parallel = true;
+        config.sat = SatAttackConfig::textbook();
+        config.sat.time_limit = Some(time_cap);
+        config.sat.record_dips = false;
+        let outcome =
+            multi_key_attack(&locked.netlist, &original, &config).expect("attack runs");
+        let any_capped =
+            outcome.reports.iter().any(|r| r.status == AttackStatus::TimeLimit);
+        let min = outcome.min_task_time();
+        let mean = outcome.mean_task_time();
+        let max = outcome.max_task_time();
+        let max_term_dips = outcome.reports.iter().map(|r| r.dips).max().unwrap_or(0);
+        let min_gates = outcome.reports.iter().map(|r| r.gates_after).min().unwrap_or(0);
+        eprintln!(
+            "  this work: min {} mean {} max {} over {} terms (max {} DIPs, term gates >= {}){}",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max),
+            outcome.reports.len(),
+            max_term_dips,
+            min_gates,
+            if any_capped { " (some terms hit the cap)" } else { "" }
+        );
+
+        let ratio = max.as_secs_f64() / baseline_time.as_secs_f64().max(1e-9);
+        let fmt_capped = |d: Duration, capped: bool| {
+            if capped {
+                format!(">{}", fmt_duration(d))
+            } else {
+                fmt_duration(d)
+            }
+        };
+        table.row(vec![
+            bench.name().to_string(),
+            fmt_capped(baseline_time, baseline_capped),
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_capped(max, any_capped),
+            format!("{ratio:.3}{}", if baseline_capped { " (lower bound on speedup)" } else { "" }),
+        ]);
+    }
+
+    println!("\n{}", table.render());
+    println!("break-even for single-core execution of 16 terms: ratio 1/16 = 0.0625");
+    args.maybe_write_csv(&table);
+}

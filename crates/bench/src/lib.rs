@@ -1,0 +1,217 @@
+//! # polykey-bench: the paper's evaluation, regenerated
+//!
+//! Binaries that reproduce every table and figure of *"On the One-Key
+//! Premise of Logic Locking"* (DAC'24), plus Criterion micro-benchmarks for
+//! the substrates:
+//!
+//! | target | regenerates |
+//! |--------|-------------|
+//! | `cargo run --release -p polykey-bench --bin fig1a` | Fig. 1(a) error distribution |
+//! | `cargo run --release -p polykey-bench --bin table1` | Table 1 (`#DIP` vs splitting effort on SARLock) |
+//! | `cargo run --release -p polykey-bench --bin table2` | Table 2 (runtime vs LUT-based insertion) |
+//! | `cargo run --release -p polykey-bench --bin ablation_split` | split-port heuristic ablation (§4) |
+//! | `cargo run --release -p polykey-bench --bin ablation_simplify` | Alg. 1 line 4 re-synthesis ablation |
+//!
+//! This library hosts the small shared harness: plain-text table rendering,
+//! duration formatting, and argument parsing.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// A plain-text table with aligned columns.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> TextTable {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row (must match the header length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut width = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                width[i] = width[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let print_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let pad = width[i] - cell.chars().count();
+                let _ = write!(out, "{}{}", cell, " ".repeat(pad));
+                if i + 1 < ncols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        print_row(&self.header, &mut out);
+        let total: usize = width.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            print_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders the table as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &String| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let _ = writeln!(out, "{}", self.header.iter().map(esc).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(esc).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+}
+
+/// Formats a duration in engineering style: `421ms`, `3.21s`, `2m14s`.
+pub fn fmt_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs < 0.001 {
+        format!("{:.0}µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.0}ms", secs * 1e3)
+    } else if secs < 120.0 {
+        format!("{secs:.2}s")
+    } else {
+        let m = (secs / 60.0).floor();
+        format!("{m:.0}m{:.0}s", secs - m * 60.0)
+    }
+}
+
+/// Minimal CLI flags shared by the harness binaries.
+#[derive(Clone, Debug, Default)]
+pub struct HarnessArgs {
+    /// Run the scaled-down configuration (fast; CI-friendly).
+    pub quick: bool,
+    /// Run the full paper-scale configuration.
+    pub full: bool,
+    /// Per-attack time cap in seconds, if any.
+    pub time_cap: Option<u64>,
+    /// Write results as CSV to this path.
+    pub csv: Option<String>,
+    /// Random seed override.
+    pub seed: Option<u64>,
+}
+
+impl HarnessArgs {
+    /// Parses flags from `std::env::args`: `--quick`, `--full`,
+    /// `--time-cap <secs>`, `--csv <path>`, `--seed <n>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage message) on malformed arguments — appropriate
+    /// for a benchmark binary.
+    pub fn parse() -> HarnessArgs {
+        let mut args = HarnessArgs::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--quick" => args.quick = true,
+                "--full" => args.full = true,
+                "--time-cap" => {
+                    let v = it.next().expect("--time-cap needs a value in seconds");
+                    args.time_cap = Some(v.parse().expect("--time-cap must be an integer"));
+                }
+                "--csv" => args.csv = Some(it.next().expect("--csv needs a path")),
+                "--seed" => {
+                    let v = it.next().expect("--seed needs a value");
+                    args.seed = Some(v.parse().expect("--seed must be an integer"));
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --quick | --full | --time-cap <secs> | --csv <path> | --seed <n>"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag `{other}` (try --help)"),
+            }
+        }
+        args
+    }
+
+    /// Writes the table as CSV if `--csv` was given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written.
+    pub fn maybe_write_csv(&self, table: &TextTable) {
+        if let Some(path) = &self.csv {
+            std::fs::write(path, table.to_csv()).expect("write csv");
+            eprintln!("csv written to {path}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(vec!["a", "long-header", "c"]);
+        t.row(vec!["1", "2", "3"]);
+        t.row(vec!["wide-cell", "x", "y"]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[2].starts_with("1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = TextTable::new(vec!["x", "y"]);
+        t.row(vec!["a,b", "quote\"inside"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"quote\"\"inside\""));
+    }
+
+    #[test]
+    fn durations_format() {
+        assert_eq!(fmt_duration(Duration::from_micros(500)), "500µs");
+        assert_eq!(fmt_duration(Duration::from_millis(42)), "42ms");
+        assert_eq!(fmt_duration(Duration::from_secs_f64(3.214)), "3.21s");
+        assert_eq!(fmt_duration(Duration::from_secs(134)), "2m14s");
+    }
+}

@@ -1,0 +1,31 @@
+//! # polykey-circuits: benchmark circuits for the attack evaluation
+//!
+//! Sources of evaluation workloads:
+//!
+//! - [`Iscas85`] — the ten classic ISCAS'85 benchmarks as reproducible
+//!   stand-ins (c6288 as a genuine 16×16 array multiplier, the others as
+//!   seeded random DAGs matching the published interface and size), plus
+//!   the verbatim [`c17`];
+//! - [`arith`] — real arithmetic structures: ripple adders, array
+//!   multipliers, comparators, parity trees;
+//! - [`generate_random`] — the seeded ISCAS-like random netlist generator.
+//!
+//! # Examples
+//!
+//! ```
+//! use polykey_circuits::Iscas85;
+//!
+//! let c7552 = Iscas85::C7552.build();
+//! assert_eq!(c7552.inputs().len(), 207);
+//! assert_eq!(c7552.outputs().len(), 108);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arith;
+mod iscas;
+mod random_dag;
+
+pub use iscas::{c17, Iscas85};
+pub use random_dag::{generate_random, RandomCircuitSpec};

@@ -1,0 +1,107 @@
+//! The attack crate's error type.
+
+use polykey_encode::{EncodeError, EquivError, MiterError};
+use polykey_netlist::NetlistError;
+
+/// Errors raised by attack drivers.
+#[derive(Debug)]
+pub enum AttackError {
+    /// Locked netlist and oracle disagree on port counts.
+    OracleMismatch {
+        /// "inputs" or "outputs".
+        what: &'static str,
+        /// Ports on the locked netlist.
+        netlist: usize,
+        /// Ports on the oracle.
+        oracle: usize,
+    },
+    /// The requested splitting effort exceeds the available input ports.
+    SplitTooWide {
+        /// Requested `N`.
+        requested: usize,
+        /// Primary inputs available.
+        available: usize,
+    },
+    /// Recombination received an inconsistent key set.
+    BadKeySet {
+        /// What was wrong.
+        message: String,
+    },
+    /// A structural netlist failure.
+    Netlist(NetlistError),
+    /// A CNF encoding failure.
+    Encode(EncodeError),
+    /// A miter-construction failure.
+    Miter(MiterError),
+    /// An equivalence-checking failure.
+    Equiv(EquivError),
+}
+
+impl std::fmt::Display for AttackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttackError::OracleMismatch { what, netlist, oracle } => {
+                write!(f, "oracle mismatch: netlist has {netlist} {what}, oracle has {oracle}")
+            }
+            AttackError::SplitTooWide { requested, available } => {
+                write!(f, "splitting effort {requested} exceeds {available} primary inputs")
+            }
+            AttackError::BadKeySet { message } => write!(f, "bad key set: {message}"),
+            AttackError::Netlist(e) => write!(f, "netlist error: {e}"),
+            AttackError::Encode(e) => write!(f, "encode error: {e}"),
+            AttackError::Miter(e) => write!(f, "miter error: {e}"),
+            AttackError::Equiv(e) => write!(f, "equivalence error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttackError::Netlist(e) => Some(e),
+            AttackError::Encode(e) => Some(e),
+            AttackError::Miter(e) => Some(e),
+            AttackError::Equiv(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for AttackError {
+    fn from(e: NetlistError) -> AttackError {
+        AttackError::Netlist(e)
+    }
+}
+
+impl From<EncodeError> for AttackError {
+    fn from(e: EncodeError) -> AttackError {
+        AttackError::Encode(e)
+    }
+}
+
+impl From<MiterError> for AttackError {
+    fn from(e: MiterError) -> AttackError {
+        AttackError::Miter(e)
+    }
+}
+
+impl From<EquivError> for AttackError {
+    fn from(e: EquivError) -> AttackError {
+        AttackError::Equiv(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = AttackError::OracleMismatch { what: "inputs", netlist: 5, oracle: 4 };
+        assert!(e.to_string().contains("5 inputs"));
+        let e = AttackError::SplitTooWide { requested: 10, available: 3 };
+        assert!(e.to_string().contains("10"));
+        let e: AttackError = NetlistError::UnknownSignal("x".into()).into();
+        assert!(e.to_string().contains("x"));
+    }
+}

@@ -1,0 +1,398 @@
+//! The multi-key attack — Algorithm 1 of the paper.
+//!
+//! Instead of hunting for the single correct key, the attack splits the
+//! input space on `N` chosen ports into `2^N` sub-spaces, cofactors and
+//! re-synthesizes the locked netlist for each assignment `b`, and runs an
+//! independent SAT attack per term. Each term returns a key that unlocks
+//! its sub-space (possibly globally *incorrect*); collectively — recombined
+//! with a MUX tree, see [`crate::recombine_multikey`] — the keys restore
+//! the full design function.
+//!
+//! The terms are embarrassingly parallel; with `parallel` enabled they run
+//! on `std::thread::scope` threads, matching the paper's 16-core setup at
+//! `N = 4`.
+
+use std::time::{Duration, Instant};
+
+use polykey_locking::Key;
+use polykey_netlist::{cofactor, cofactor_simplify, Netlist, NodeId};
+
+use crate::error::AttackError;
+use crate::oracle::{RestrictedOracle, SimOracle};
+use crate::sat_attack::{sat_attack, AttackStatus, SatAttackConfig, SatAttackOutcome};
+use crate::split::{select_split_inputs, SplitStrategy};
+
+/// Tuning knobs for the multi-key attack.
+#[derive(Clone, Debug)]
+pub struct MultiKeyConfig {
+    /// The splitting effort `N`: the input space is divided into `2^N`
+    /// terms. `N = 0` degenerates to the plain SAT attack.
+    pub split_effort: usize,
+    /// How the `N` ports are chosen.
+    pub strategy: SplitStrategy,
+    /// Re-synthesize each cofactored netlist (Algorithm 1 line 4). Turning
+    /// this off is the `ablation_simplify` experiment.
+    pub simplify: bool,
+    /// Run the `2^N` terms on parallel threads.
+    pub parallel: bool,
+    /// Configuration for each per-term SAT attack.
+    pub sat: SatAttackConfig,
+}
+
+impl Default for MultiKeyConfig {
+    fn default() -> MultiKeyConfig {
+        MultiKeyConfig {
+            split_effort: 2,
+            strategy: SplitStrategy::FanoutCone,
+            simplify: true,
+            parallel: true,
+            sat: SatAttackConfig::new(),
+        }
+    }
+}
+
+impl MultiKeyConfig {
+    /// A configuration with the given splitting effort and defaults
+    /// otherwise.
+    pub fn with_split_effort(n: usize) -> MultiKeyConfig {
+        MultiKeyConfig { split_effort: n, ..Default::default() }
+    }
+}
+
+/// One sub-space key: the term's split-bit assignment and the key that
+/// unlocks the locked circuit on that sub-space.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubKey {
+    /// The term: bit `j` is the value pinned on split port `j`.
+    pub pattern: u64,
+    /// A key correct on the sub-space (possibly incorrect elsewhere).
+    pub key: Key,
+}
+
+/// Per-term accounting.
+#[derive(Clone, Debug)]
+pub struct SubTaskReport {
+    /// The term's split-bit assignment.
+    pub pattern: u64,
+    /// How this term's SAT attack ended.
+    pub status: AttackStatus,
+    /// `#DIP` for this term.
+    pub dips: u64,
+    /// Oracle queries issued by this term.
+    pub oracle_queries: u64,
+    /// Wall-clock time of this term (its own timer; terms overlap when
+    /// parallel).
+    pub wall_time: Duration,
+    /// Gates in the locked netlist before cofactoring.
+    pub gates_before: usize,
+    /// Gates in the netlist this term actually attacked.
+    pub gates_after: usize,
+}
+
+/// The result of a multi-key attack.
+#[derive(Clone, Debug)]
+pub struct MultiKeyOutcome {
+    /// The recovered sub-space keys (one per *successful* term), sorted by
+    /// pattern.
+    pub keys: Vec<SubKey>,
+    /// Accounting for every term, sorted by pattern.
+    pub reports: Vec<SubTaskReport>,
+    /// The chosen splitting ports (ids in the locked netlist), in pattern
+    /// bit order.
+    pub split_inputs: Vec<NodeId>,
+    /// End-to-end wall-clock time of the whole attack.
+    pub wall_time: Duration,
+}
+
+impl MultiKeyOutcome {
+    /// True iff every term succeeded.
+    pub fn is_complete(&self) -> bool {
+        self.reports.iter().all(|r| r.status == AttackStatus::Success)
+    }
+
+    /// The maximum per-term wall time — the attack latency on a machine
+    /// with ≥ `2^N` cores (the paper's headline metric).
+    pub fn max_task_time(&self) -> Duration {
+        self.reports.iter().map(|r| r.wall_time).max().unwrap_or_default()
+    }
+
+    /// Minimum per-term wall time.
+    pub fn min_task_time(&self) -> Duration {
+        self.reports.iter().map(|r| r.wall_time).min().unwrap_or_default()
+    }
+
+    /// Mean per-term wall time.
+    pub fn mean_task_time(&self) -> Duration {
+        if self.reports.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.reports.iter().map(|r| r.wall_time).sum();
+        total / self.reports.len() as u32
+    }
+}
+
+/// Runs Algorithm 1: the multi-key attack against `locked`, using a
+/// simulated oracle over the `original` netlist.
+///
+/// # Errors
+///
+/// - [`AttackError::SplitTooWide`] if `split_effort` exceeds the input
+///   count.
+/// - [`AttackError::OracleMismatch`] if `original` and `locked` disagree on
+///   interface arity.
+/// - Structural errors from cofactoring or encoding.
+pub fn multi_key_attack(
+    locked: &Netlist,
+    original: &Netlist,
+    config: &MultiKeyConfig,
+) -> Result<MultiKeyOutcome, AttackError> {
+    if original.inputs().len() != locked.inputs().len() {
+        return Err(AttackError::OracleMismatch {
+            what: "inputs",
+            netlist: locked.inputs().len(),
+            oracle: original.inputs().len(),
+        });
+    }
+    let start = Instant::now();
+    let n = config.split_effort;
+    let split_inputs = select_split_inputs(locked, n, config.strategy)?;
+    // Positions of the split ports in the input list (for oracle forcing
+    // and DIP pinning).
+    let positions: Vec<usize> = split_inputs
+        .iter()
+        .map(|id| {
+            locked
+                .inputs()
+                .iter()
+                .position(|p| p == id)
+                .expect("split ports come from the input list")
+        })
+        .collect();
+
+    let terms: Vec<u64> = (0..(1u64 << n)).collect();
+    let run_term = |pattern: u64| -> Result<(SubTaskReport, Option<SubKey>), AttackError> {
+        let term_start = Instant::now();
+        let pins: Vec<(NodeId, bool)> = split_inputs
+            .iter()
+            .enumerate()
+            .map(|(j, &id)| (id, pattern >> j & 1 == 1))
+            .collect();
+        let restricted = if config.simplify {
+            cofactor_simplify(locked, &pins)?.0
+        } else {
+            cofactor(locked, &pins)?
+        };
+        let forced: Vec<(usize, bool)> = positions
+            .iter()
+            .enumerate()
+            .map(|(j, &pos)| (pos, pattern >> j & 1 == 1))
+            .collect();
+        let mut term_sat = config.sat.clone();
+        term_sat.force_inputs = forced.clone();
+        let mut oracle = RestrictedOracle::new(SimOracle::new(original)?, forced);
+        let outcome: SatAttackOutcome = sat_attack(&restricted, &mut oracle, &term_sat)?;
+        let report = SubTaskReport {
+            pattern,
+            status: outcome.status,
+            dips: outcome.stats.dips,
+            oracle_queries: outcome.stats.oracle_queries,
+            wall_time: term_start.elapsed(),
+            gates_before: locked.num_gates(),
+            gates_after: restricted.num_gates(),
+        };
+        let key = outcome.key.map(|key| SubKey { pattern, key });
+        Ok((report, key))
+    };
+
+    let mut results: Vec<(SubTaskReport, Option<SubKey>)> = if config.parallel && n > 0 {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                terms.iter().map(|&pattern| scope.spawn(move || run_term(pattern))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("attack thread must not panic"))
+                .collect::<Result<Vec<_>, AttackError>>()
+        })?
+    } else {
+        terms.iter().map(|&p| run_term(p)).collect::<Result<Vec<_>, _>>()?
+    };
+
+    results.sort_by_key(|(r, _)| r.pattern);
+    let mut keys = Vec::new();
+    let mut reports = Vec::with_capacity(results.len());
+    for (report, key) in results {
+        if let Some(k) = key {
+            keys.push(k);
+        }
+        reports.push(report);
+    }
+    Ok(MultiKeyOutcome { keys, reports, split_inputs, wall_time: start.elapsed() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polykey_locking::{lock_sarlock_with_key, Key, SarlockConfig};
+    use polykey_netlist::{bits_of, GateKind, Simulator};
+
+    fn majority3() -> Netlist {
+        let mut nl = Netlist::new("maj3");
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let c = nl.add_input("c").unwrap();
+        let ab = nl.add_gate("ab", GateKind::And, &[a, b]).unwrap();
+        let ac = nl.add_gate("ac", GateKind::And, &[a, c]).unwrap();
+        let bc = nl.add_gate("bc", GateKind::And, &[b, c]).unwrap();
+        let y = nl.add_gate("y", GateKind::Or, &[ab, ac, bc]).unwrap();
+        nl.mark_output(y).unwrap();
+        nl
+    }
+
+    fn locked_majority(key_value: u64) -> (Netlist, Netlist, Key) {
+        let nl = majority3();
+        let key = Key::from_u64(key_value, 3);
+        let locked = lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &key).unwrap();
+        (nl, locked.netlist, key)
+    }
+
+    /// A sub-key must unlock its sub-space exactly.
+    fn check_subspace(
+        original: &Netlist,
+        locked: &Netlist,
+        split: &[NodeId],
+        sub: &SubKey,
+    ) {
+        let positions: Vec<usize> = split
+            .iter()
+            .map(|id| locked.inputs().iter().position(|p| p == id).unwrap())
+            .collect();
+        let mut orig = Simulator::new(original).unwrap();
+        let mut lsim = Simulator::new(locked).unwrap();
+        let ni = original.inputs().len();
+        for v in 0..(1u64 << ni) {
+            let bits = bits_of(v, ni);
+            let in_subspace = positions
+                .iter()
+                .enumerate()
+                .all(|(j, &pos)| bits[pos] == (sub.pattern >> j & 1 == 1));
+            if in_subspace {
+                assert_eq!(
+                    lsim.eval(&bits, sub.key.bits()),
+                    orig.eval(&bits, &[]),
+                    "pattern {:b} sub-key must unlock input {v:03b}",
+                    sub.pattern
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn n1_recovers_two_subspace_keys() {
+        let (nl, locked, _) = locked_majority(0b101);
+        let mut config = MultiKeyConfig::with_split_effort(1);
+        config.parallel = false;
+        let outcome = multi_key_attack(&locked, &nl, &config).unwrap();
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.keys.len(), 2);
+        assert_eq!(outcome.reports.len(), 2);
+        for sub in &outcome.keys {
+            check_subspace(&nl, &locked, &outcome.split_inputs, sub);
+        }
+    }
+
+    #[test]
+    fn n2_parallel_recovers_four_keys() {
+        let (nl, locked, _) = locked_majority(0b010);
+        let mut config = MultiKeyConfig::with_split_effort(2);
+        config.parallel = true;
+        let outcome = multi_key_attack(&locked, &nl, &config).unwrap();
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.keys.len(), 4);
+        for sub in &outcome.keys {
+            check_subspace(&nl, &locked, &outcome.split_inputs, sub);
+        }
+        // Patterns are 0..4 in order.
+        let patterns: Vec<u64> = outcome.keys.iter().map(|k| k.pattern).collect();
+        assert_eq!(patterns, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn n0_degenerates_to_plain_sat_attack() {
+        let (nl, locked, _) = locked_majority(0b100);
+        let mut config = MultiKeyConfig::with_split_effort(0);
+        config.parallel = false;
+        let outcome = multi_key_attack(&locked, &nl, &config).unwrap();
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.keys.len(), 1);
+        assert_eq!(outcome.keys[0].pattern, 0);
+        // With N = 0 the sub-space is the whole space: the key is globally
+        // correct.
+        check_subspace(&nl, &locked, &[], &outcome.keys[0]);
+    }
+
+    #[test]
+    fn splitting_reduces_dips_on_sarlock() {
+        // The headline effect of Table 1: #DIP halves per split level when
+        // the splitting ports hit the SARLock comparator.
+        let (nl, locked, _) = locked_majority(0b110);
+        let mut dips_by_n = Vec::new();
+        for n in 0..=2usize {
+            let mut config = MultiKeyConfig::with_split_effort(n);
+            config.parallel = false;
+            let outcome = multi_key_attack(&locked, &nl, &config).unwrap();
+            assert!(outcome.is_complete(), "N={n}");
+            let max_dips = outcome.reports.iter().map(|r| r.dips).max().unwrap();
+            dips_by_n.push(max_dips);
+        }
+        assert!(
+            dips_by_n[1] < dips_by_n[0] && dips_by_n[2] < dips_by_n[1],
+            "#DIP must shrink with N: {dips_by_n:?}"
+        );
+    }
+
+    #[test]
+    fn simplify_shrinks_subtask_netlists() {
+        let (nl, locked, _) = locked_majority(0b001);
+        let mut config = MultiKeyConfig::with_split_effort(2);
+        config.parallel = false;
+        config.simplify = true;
+        let outcome = multi_key_attack(&locked, &nl, &config).unwrap();
+        for r in &outcome.reports {
+            assert!(
+                r.gates_after < r.gates_before,
+                "term {:02b}: {} -> {}",
+                r.pattern,
+                r.gates_before,
+                r.gates_after
+            );
+        }
+        // Ablation: without simplification the netlists keep their size.
+        config.simplify = false;
+        let outcome = multi_key_attack(&locked, &nl, &config).unwrap();
+        assert!(outcome.is_complete());
+        for r in &outcome.reports {
+            assert!(r.gates_after >= r.gates_before);
+        }
+    }
+
+    #[test]
+    fn task_time_aggregates() {
+        let (nl, locked, _) = locked_majority(0b011);
+        let mut config = MultiKeyConfig::with_split_effort(1);
+        config.parallel = false;
+        let outcome = multi_key_attack(&locked, &nl, &config).unwrap();
+        assert!(outcome.min_task_time() <= outcome.mean_task_time());
+        assert!(outcome.mean_task_time() <= outcome.max_task_time());
+        assert!(outcome.max_task_time() <= outcome.wall_time);
+    }
+
+    #[test]
+    fn split_too_wide_rejected() {
+        let (nl, locked, _) = locked_majority(0b011);
+        let config = MultiKeyConfig::with_split_effort(12);
+        assert!(matches!(
+            multi_key_attack(&locked, &nl, &config),
+            Err(AttackError::SplitTooWide { .. })
+        ));
+    }
+}

@@ -1,0 +1,197 @@
+//! The attack oracle: the attacker's black-box access to a working chip.
+//!
+//! The SAT attack's threat model gives the attacker a functional unlocked
+//! chip bought on the open market, queried input-by-input. [`SimOracle`]
+//! plays that chip by simulating the original netlist; the [`Oracle`] trait
+//! keeps the attack code independent of where responses come from, and
+//! [`RestrictedOracle`] adapts an oracle to a sub-space attack by forcing
+//! the split bits (the sub-attack may ask about any input, but the answers
+//! must correspond to the sub-space being attacked).
+
+use polykey_netlist::{Netlist, NetlistError, Simulator};
+
+/// Black-box input/output access to the original (unlocked) circuit.
+pub trait Oracle {
+    /// Number of primary inputs the oracle expects.
+    fn num_inputs(&self) -> usize;
+
+    /// Number of outputs the oracle produces.
+    fn num_outputs(&self) -> usize;
+
+    /// Queries the chip with one input pattern.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `input` has the wrong width.
+    fn query(&mut self, input: &[bool]) -> Vec<bool>;
+
+    /// Number of queries served so far (the attack's oracle-access cost).
+    fn queries(&self) -> u64;
+}
+
+/// An oracle that simulates the original netlist (the "working chip").
+///
+/// # Examples
+///
+/// ```
+/// use polykey_attack::{Oracle, SimOracle};
+/// use polykey_netlist::{GateKind, Netlist};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut nl = Netlist::new("inv");
+/// let a = nl.add_input("a")?;
+/// let y = nl.add_gate("y", GateKind::Not, &[a])?;
+/// nl.mark_output(y)?;
+///
+/// let mut oracle = SimOracle::new(&nl)?;
+/// assert_eq!(oracle.query(&[false]), vec![true]);
+/// assert_eq!(oracle.queries(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SimOracle<'a> {
+    sim: Simulator<'a>,
+    queries: u64,
+}
+
+impl<'a> SimOracle<'a> {
+    /// Builds an oracle over the original netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Cycle`] for cyclic netlists, and
+    /// [`NetlistError::NotAnInput`] if the netlist has key inputs (an oracle
+    /// is an *unlocked* chip).
+    pub fn new(netlist: &'a Netlist) -> Result<SimOracle<'a>, NetlistError> {
+        if !netlist.key_inputs().is_empty() {
+            return Err(NetlistError::NotAnInput {
+                name: "oracle netlists must be keyless".to_string(),
+            });
+        }
+        Ok(SimOracle { sim: Simulator::new(netlist)?, queries: 0 })
+    }
+}
+
+impl Oracle for SimOracle<'_> {
+    fn num_inputs(&self) -> usize {
+        self.sim.netlist().inputs().len()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.sim.netlist().outputs().len()
+    }
+
+    fn query(&mut self, input: &[bool]) -> Vec<bool> {
+        self.queries += 1;
+        self.sim.eval(input, &[])
+    }
+
+    fn queries(&self) -> u64 {
+        self.queries
+    }
+}
+
+/// Wraps an oracle so that selected input positions are forced to fixed
+/// values before each query — the oracle view of one sub-space term in the
+/// multi-key attack.
+#[derive(Debug)]
+pub struct RestrictedOracle<O> {
+    inner: O,
+    forced: Vec<(usize, bool)>,
+}
+
+impl<O: Oracle> RestrictedOracle<O> {
+    /// Wraps `inner`, forcing `forced` positions (input index, value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a forced index is out of range for the inner oracle.
+    pub fn new(inner: O, forced: Vec<(usize, bool)>) -> RestrictedOracle<O> {
+        for &(i, _) in &forced {
+            assert!(i < inner.num_inputs(), "forced index {i} out of range");
+        }
+        RestrictedOracle { inner, forced }
+    }
+
+    /// The wrapped oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: Oracle> Oracle for RestrictedOracle<O> {
+    fn num_inputs(&self) -> usize {
+        self.inner.num_inputs()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.inner.num_outputs()
+    }
+
+    fn query(&mut self, input: &[bool]) -> Vec<bool> {
+        let mut forced_input = input.to_vec();
+        for &(i, v) in &self.forced {
+            forced_input[i] = v;
+        }
+        self.inner.query(&forced_input)
+    }
+
+    fn queries(&self) -> u64 {
+        self.inner.queries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polykey_netlist::GateKind;
+
+    fn xor2() -> Netlist {
+        let mut nl = Netlist::new("xor2");
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let y = nl.add_gate("y", GateKind::Xor, &[a, b]).unwrap();
+        nl.mark_output(y).unwrap();
+        nl
+    }
+
+    #[test]
+    fn sim_oracle_answers_and_counts() {
+        let nl = xor2();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        assert_eq!(oracle.num_inputs(), 2);
+        assert_eq!(oracle.num_outputs(), 1);
+        assert_eq!(oracle.query(&[true, false]), vec![true]);
+        assert_eq!(oracle.query(&[true, true]), vec![false]);
+        assert_eq!(oracle.queries(), 2);
+    }
+
+    #[test]
+    fn keyed_netlist_rejected_as_oracle() {
+        let mut nl = xor2();
+        let k = nl.add_key_input("k").unwrap();
+        let _ = k;
+        assert!(SimOracle::new(&nl).is_err());
+    }
+
+    #[test]
+    fn restricted_oracle_forces_bits() {
+        let nl = xor2();
+        let oracle = SimOracle::new(&nl).unwrap();
+        let mut restricted = RestrictedOracle::new(oracle, vec![(0, true)]);
+        // Input bit 0 is forced to 1 regardless of what we pass.
+        assert_eq!(restricted.query(&[false, false]), vec![true]);
+        assert_eq!(restricted.query(&[true, false]), vec![true]);
+        assert_eq!(restricted.query(&[false, true]), vec![false]);
+        assert_eq!(restricted.queries(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn restricted_oracle_checks_indices() {
+        let nl = xor2();
+        let oracle = SimOracle::new(&nl).unwrap();
+        let _ = RestrictedOracle::new(oracle, vec![(5, true)]);
+    }
+}

@@ -1,0 +1,255 @@
+//! Multi-key recombination — Fig. 1(b) of the paper.
+//!
+//! Given the `2^N` sub-space keys recovered by the multi-key attack, build
+//! an *unlocked* netlist: each key port of the locked design is driven by a
+//! MUX tree that selects, based on the live values of the `N` split ports,
+//! the sub-key recovered for that sub-space. The result has no key inputs
+//! and is functionally equivalent to the original design — even though
+//! every individual sub-key may be globally incorrect.
+
+use polykey_netlist::{GateKind, Netlist, NodeId};
+
+use crate::error::AttackError;
+use crate::multikey::SubKey;
+
+/// Builds the recombined, keyless netlist from sub-space keys.
+///
+/// `split_inputs` are the ports (ids in `locked`) the attack split on, in
+/// pattern bit order; `keys` must contain exactly one entry per pattern in
+/// `0..2^N`, each of full key width.
+///
+/// # Errors
+///
+/// - [`AttackError::BadKeySet`] if patterns are missing/duplicated or a key
+///   has the wrong width.
+/// - [`AttackError::Netlist`] for structural failures.
+pub fn recombine_multikey(
+    locked: &Netlist,
+    split_inputs: &[NodeId],
+    keys: &[SubKey],
+) -> Result<Netlist, AttackError> {
+    let n = split_inputs.len();
+    let expected = 1usize << n;
+    if keys.len() != expected {
+        return Err(AttackError::BadKeySet {
+            message: format!("need {expected} sub-keys for N={n}, got {}", keys.len()),
+        });
+    }
+    let mut by_pattern: Vec<Option<&SubKey>> = vec![None; expected];
+    for sub in keys {
+        let idx = sub.pattern as usize;
+        if idx >= expected {
+            return Err(AttackError::BadKeySet {
+                message: format!("pattern {:#b} out of range for N={n}", sub.pattern),
+            });
+        }
+        if by_pattern[idx].is_some() {
+            return Err(AttackError::BadKeySet {
+                message: format!("duplicate pattern {:#b}", sub.pattern),
+            });
+        }
+        if sub.key.len() != locked.key_inputs().len() {
+            return Err(AttackError::BadKeySet {
+                message: format!(
+                    "sub-key for pattern {:#b} has width {}, locked design has {} key ports",
+                    sub.pattern,
+                    sub.key.len(),
+                    locked.key_inputs().len()
+                ),
+            });
+        }
+        by_pattern[idx] = Some(sub);
+    }
+    for &id in split_inputs {
+        if !locked.inputs().contains(&id) {
+            return Err(AttackError::BadKeySet {
+                message: format!("split port {id} is not a primary input of the locked design"),
+            });
+        }
+    }
+
+    let order = locked.topological_order()?;
+    let mut out = Netlist::new(format!("{}_recombined", locked.name()));
+    let mut map: Vec<Option<NodeId>> = vec![None; locked.num_nodes()];
+
+    for &pi in locked.inputs() {
+        map[pi.index()] = Some(out.add_input(locked.node_name(pi))?);
+    }
+    // Shared constant nodes for MUX-tree leaves.
+    let const0 = out.add_const("mk$zero", false)?;
+    let const1 = out.add_const("mk$one", true)?;
+    let leaf = |b: bool| if b { const1 } else { const0 };
+    let selects: Vec<NodeId> = split_inputs
+        .iter()
+        .map(|id| map[id.index()].expect("inputs mapped"))
+        .collect();
+
+    // Drive each key port with a MUX tree over the split ports.
+    for (j, &ki) in locked.key_inputs().iter().enumerate() {
+        let bits: Vec<bool> = (0..expected)
+            .map(|p| by_pattern[p].expect("checked").key.bit(j))
+            .collect();
+        let driver = if bits.iter().all(|&b| b == bits[0]) {
+            // All sub-keys agree on this bit: a plain constant.
+            leaf(bits[0])
+        } else {
+            let mut layer: Vec<NodeId> = bits.iter().map(|&b| leaf(b)).collect();
+            for (level, &sel) in selects.iter().enumerate() {
+                let mut next = Vec::with_capacity(layer.len() / 2);
+                for (pair, chunk) in layer.chunks(2).enumerate() {
+                    let m = out.add_gate(
+                        format!("mk$k{j}_m{level}_{pair}"),
+                        GateKind::Mux,
+                        &[sel, chunk[0], chunk[1]],
+                    )?;
+                    next.push(m);
+                }
+                layer = next;
+            }
+            debug_assert_eq!(layer.len(), 1);
+            layer[0]
+        };
+        map[ki.index()] = Some(driver);
+    }
+
+    // Copy the locked design's gates over the new drivers.
+    for id in order {
+        let node = locked.node(id);
+        if node.kind().is_input() {
+            continue;
+        }
+        let fanins: Vec<NodeId> =
+            node.fanins().iter().map(|f| map[f.index()].expect("topo order")).collect();
+        let new_id = match node.kind() {
+            GateKind::Const(v) => out.add_const(locked.node_name(id), v)?,
+            kind => out.add_gate(locked.node_name(id), kind, &fanins)?,
+        };
+        map[id.index()] = Some(new_id);
+    }
+    for &o in locked.outputs() {
+        out.mark_output(map[o.index()].expect("outputs mapped"))?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multikey::{multi_key_attack, MultiKeyConfig};
+    use polykey_encode::{check_equivalence, EquivResult};
+    use polykey_locking::{lock_sarlock_with_key, Key, SarlockConfig};
+    use polykey_netlist::{bits_of, GateKind, Simulator};
+
+    fn majority3() -> Netlist {
+        let mut nl = Netlist::new("maj3");
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let c = nl.add_input("c").unwrap();
+        let ab = nl.add_gate("ab", GateKind::And, &[a, b]).unwrap();
+        let ac = nl.add_gate("ac", GateKind::And, &[a, c]).unwrap();
+        let bc = nl.add_gate("bc", GateKind::And, &[b, c]).unwrap();
+        let y = nl.add_gate("y", GateKind::Or, &[ab, ac, bc]).unwrap();
+        nl.mark_output(y).unwrap();
+        nl
+    }
+
+    #[test]
+    fn fig1b_recombination_is_equivalent_to_original() {
+        // Full pipeline: lock → multi-key attack → recombine → formal check.
+        let nl = majority3();
+        let locked =
+            lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &Key::from_u64(0b101, 3))
+                .unwrap();
+        let mut config = MultiKeyConfig::with_split_effort(2);
+        config.parallel = false;
+        let outcome = multi_key_attack(&locked.netlist, &nl, &config).unwrap();
+        assert!(outcome.is_complete());
+
+        let recombined =
+            recombine_multikey(&locked.netlist, &outcome.split_inputs, &outcome.keys).unwrap();
+        assert!(recombined.key_inputs().is_empty(), "recombined design is keyless");
+        assert_eq!(
+            check_equivalence(&nl, &recombined).unwrap(),
+            EquivResult::Equivalent,
+            "Fig. 1(b): multiple incorrect keys collectively restore the function"
+        );
+    }
+
+    #[test]
+    fn recombination_with_manual_keys() {
+        // Hand-build the Fig. 1(b) scenario: two sub-keys, MUX on one bit.
+        let nl = majority3();
+        let correct = Key::from_u64(0b011, 3);
+        let locked =
+            lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &correct).unwrap();
+        let split = vec![locked.netlist.inputs()[0]];
+        // For SARLock, a key unlocks the sub-space `x0 = v` iff it differs
+        // from every input in that sub-space (or is correct). Keys whose
+        // comparator bit 0 disagrees with the sub-space value never match:
+        // pattern 0 (x0 = 0) is unlocked by any key with bit0 = 1 except…
+        // use the known-correct key for one half and a provably sub-space
+        // correct key for the other.
+        let keys = vec![
+            SubKey { pattern: 0, key: Key::from_u64(0b101, 3) }, // bit0=1 ⇒ never matches x0=0
+            SubKey { pattern: 1, key: correct.clone() },
+        ];
+        let recombined = recombine_multikey(&locked.netlist, &split, &keys).unwrap();
+        let mut orig = Simulator::new(&nl).unwrap();
+        let mut rec = Simulator::new(&recombined).unwrap();
+        for v in 0..8u64 {
+            let bits = bits_of(v, 3);
+            assert_eq!(rec.eval(&bits, &[]), orig.eval(&bits, &[]), "input {v:03b}");
+        }
+    }
+
+    #[test]
+    fn missing_pattern_rejected() {
+        let nl = majority3();
+        let locked =
+            lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &Key::from_u64(0, 3)).unwrap();
+        let split = vec![locked.netlist.inputs()[0]];
+        let keys = vec![SubKey { pattern: 0, key: Key::from_u64(0, 3) }];
+        let err = recombine_multikey(&locked.netlist, &split, &keys).unwrap_err();
+        assert!(matches!(err, AttackError::BadKeySet { .. }));
+    }
+
+    #[test]
+    fn duplicate_pattern_rejected() {
+        let nl = majority3();
+        let locked =
+            lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &Key::from_u64(0, 3)).unwrap();
+        let split = vec![locked.netlist.inputs()[0]];
+        let keys = vec![
+            SubKey { pattern: 1, key: Key::from_u64(0, 3) },
+            SubKey { pattern: 1, key: Key::from_u64(1, 3) },
+        ];
+        assert!(matches!(
+            recombine_multikey(&locked.netlist, &split, &keys),
+            Err(AttackError::BadKeySet { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_key_width_rejected() {
+        let nl = majority3();
+        let locked =
+            lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &Key::from_u64(0, 3)).unwrap();
+        let keys = vec![SubKey { pattern: 0, key: Key::from_u64(0, 2) }];
+        assert!(matches!(
+            recombine_multikey(&locked.netlist, &[], &keys),
+            Err(AttackError::BadKeySet { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_split_recombination_pins_single_key() {
+        // N = 0: recombination is just pinning the one recovered key.
+        let nl = majority3();
+        let correct = Key::from_u64(0b110, 3);
+        let locked =
+            lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &correct).unwrap();
+        let keys = vec![SubKey { pattern: 0, key: correct }];
+        let recombined = recombine_multikey(&locked.netlist, &[], &keys).unwrap();
+        assert_eq!(check_equivalence(&nl, &recombined).unwrap(), EquivResult::Equivalent);
+    }
+}

@@ -1,0 +1,492 @@
+//! The oracle-guided SAT attack (Subramanyan, Ray, Malik — HOST'15).
+//!
+//! The attack loop:
+//!
+//! 1. Build a miter of two copies of the locked circuit sharing primary
+//!    inputs, with independent key vectors `K1`, `K2`.
+//! 2. Ask the solver for a *distinguishing input pattern* (DIP): an input on
+//!    which some two keys consistent with everything observed so far
+//!    disagree.
+//! 3. Query the oracle at the DIP and constrain both key copies to
+//!    reproduce the observed output (two more CNF copies of the circuit,
+//!    with inputs pinned to the DIP so they fold down to key logic only).
+//! 4. Repeat until the miter is unsatisfiable: every remaining key is
+//!    functionally equivalent on all inputs; return one of them.
+//!
+//! The solver is used *incrementally*: learnt clauses carry over between
+//! iterations, and the miter is kept behind an assumption literal so the
+//! final key-extraction solve can ignore it.
+
+use std::time::{Duration, Instant};
+
+use polykey_encode::{assert_value, build_miter, encode, Binding, PortBinding};
+use polykey_locking::Key;
+use polykey_netlist::Netlist;
+use polykey_sat::{SolveResult, Solver, SolverConfig, SolverStats};
+
+use crate::error::AttackError;
+use crate::oracle::Oracle;
+
+/// Tuning knobs for the SAT attack.
+#[derive(Clone, Debug, Default)]
+pub struct SatAttackConfig {
+    /// Stop after this many DIPs (None = unlimited).
+    pub max_dips: Option<u64>,
+    /// Wall-clock budget for the whole attack (None = unlimited).
+    pub time_limit: Option<Duration>,
+    /// Force these primary-input positions to fixed values in every DIP
+    /// (used by the multi-key attack to stay inside one sub-space).
+    pub force_inputs: Vec<(usize, bool)>,
+    /// Solver configuration.
+    pub solver: SolverConfig,
+    /// Record every DIP pattern in the outcome (cheap; on by default).
+    pub record_dips: bool,
+    /// Encode per-DIP consistency constraints with inputs pinned as
+    /// constants, folding each copy down to the key cone (`true`, the
+    /// optimized default) — or as full circuit copies with unit clauses on
+    /// the inputs (`false`), the textbook formulation of the original SAT
+    /// attack and of the paper's tooling, whose per-iteration CNF growth is
+    /// what makes LUT-based insertion expensive in Table 2.
+    pub fold_dip_copies: bool,
+}
+
+impl SatAttackConfig {
+    /// The default configuration: unlimited, recording DIPs, folding
+    /// per-DIP copies.
+    pub fn new() -> SatAttackConfig {
+        SatAttackConfig { record_dips: true, fold_dip_copies: true, ..Default::default() }
+    }
+
+    /// The textbook configuration: per-DIP constraints as full circuit
+    /// copies (see [`SatAttackConfig::fold_dip_copies`]).
+    pub fn textbook() -> SatAttackConfig {
+        SatAttackConfig { fold_dip_copies: false, ..SatAttackConfig::new() }
+    }
+}
+
+/// How a SAT attack run ended.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum AttackStatus {
+    /// The key space was exhausted and a functionally correct key returned.
+    Success,
+    /// Stopped at the configured DIP limit.
+    DipLimit,
+    /// Stopped at the configured time limit.
+    TimeLimit,
+    /// No key is consistent with the oracle responses (wrong oracle or
+    /// corrupted netlist).
+    Inconsistent,
+}
+
+/// Work counters for one SAT attack run.
+#[derive(Clone, Debug, Default)]
+pub struct SatAttackStats {
+    /// Distinguishing input patterns found (`#DIP` in the paper).
+    pub dips: u64,
+    /// Oracle queries issued.
+    pub oracle_queries: u64,
+    /// Total wall-clock time.
+    pub wall_time: Duration,
+    /// Final solver counters (cumulative over all iterations).
+    pub solver: SolverStats,
+    /// CNF variables at the end of the attack.
+    pub cnf_vars: usize,
+    /// CNF clauses at the end of the attack (original, excluding learnt).
+    pub cnf_clauses: usize,
+}
+
+/// The result of a SAT attack run.
+#[derive(Clone, Debug)]
+pub struct SatAttackOutcome {
+    /// Terminal status.
+    pub status: AttackStatus,
+    /// The recovered key (present on [`AttackStatus::Success`]).
+    pub key: Option<Key>,
+    /// The DIPs, in discovery order (if `record_dips` was set).
+    pub dip_patterns: Vec<Vec<bool>>,
+    /// Work counters.
+    pub stats: SatAttackStats,
+}
+
+impl SatAttackOutcome {
+    /// True iff the attack succeeded.
+    pub fn is_success(&self) -> bool {
+        self.status == AttackStatus::Success
+    }
+}
+
+/// Runs the oracle-guided SAT attack against `locked`.
+///
+/// # Errors
+///
+/// - [`AttackError::OracleMismatch`] if the oracle's port counts disagree
+///   with the locked netlist.
+/// - [`AttackError::Miter`] / [`AttackError::Encode`] for structural
+///   failures (e.g. cyclic netlists).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use polykey_attack::{sat_attack, SatAttackConfig, SimOracle};
+/// use polykey_locking::lock_rll;
+/// use polykey_netlist::{GateKind, Netlist};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut nl = Netlist::new("toy");
+/// let a = nl.add_input("a")?;
+/// let b = nl.add_input("b")?;
+/// let y = nl.add_gate("y", GateKind::And, &[a, b])?;
+/// nl.mark_output(y)?;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let locked = lock_rll(&nl, 1, &mut rng)?;
+/// let mut oracle = SimOracle::new(&nl)?;
+/// let outcome = sat_attack(&locked.netlist, &mut oracle, &SatAttackConfig::new())?;
+/// assert!(outcome.is_success());
+/// # Ok(())
+/// # }
+/// ```
+pub fn sat_attack(
+    locked: &Netlist,
+    oracle: &mut dyn Oracle,
+    config: &SatAttackConfig,
+) -> Result<SatAttackOutcome, AttackError> {
+    if oracle.num_inputs() != locked.inputs().len() {
+        return Err(AttackError::OracleMismatch {
+            what: "inputs",
+            netlist: locked.inputs().len(),
+            oracle: oracle.num_inputs(),
+        });
+    }
+    if oracle.num_outputs() != locked.outputs().len() {
+        return Err(AttackError::OracleMismatch {
+            what: "outputs",
+            netlist: locked.outputs().len(),
+            oracle: oracle.num_outputs(),
+        });
+    }
+    let start = Instant::now();
+    let queries_at_start = oracle.queries();
+    let mut solver = Solver::with_config(config.solver);
+    let miter = build_miter(&mut solver, locked, locked)?;
+    for &(idx, value) in &config.force_inputs {
+        let lit = miter.inputs[idx];
+        solver.add_clause(&[if value { lit } else { !lit }]);
+    }
+
+    let mut dips: u64 = 0;
+    let mut dip_patterns: Vec<Vec<bool>> = Vec::new();
+    let finish = |status: AttackStatus,
+                  key: Option<Key>,
+                  dips: u64,
+                  dip_patterns: Vec<Vec<bool>>,
+                  solver: &Solver,
+                  oracle: &dyn Oracle| SatAttackOutcome {
+        status,
+        key,
+        dip_patterns,
+        stats: SatAttackStats {
+            dips,
+            oracle_queries: oracle.queries() - queries_at_start,
+            wall_time: start.elapsed(),
+            solver: *solver.stats(),
+            cnf_vars: solver.num_vars(),
+            cnf_clauses: solver.num_clauses(),
+        },
+    };
+
+    loop {
+        // Respect the wall-clock budget across solver calls.
+        if let Some(limit) = config.time_limit {
+            let elapsed = start.elapsed();
+            if elapsed >= limit {
+                return Ok(finish(
+                    AttackStatus::TimeLimit,
+                    None,
+                    dips,
+                    dip_patterns,
+                    &solver,
+                    oracle,
+                ));
+            }
+            solver.set_time_budget(Some(limit - elapsed));
+        }
+        match solver.solve(&[miter.diff]) {
+            SolveResult::Unknown => {
+                return Ok(finish(
+                    AttackStatus::TimeLimit,
+                    None,
+                    dips,
+                    dip_patterns,
+                    &solver,
+                    oracle,
+                ));
+            }
+            SolveResult::Sat => {
+                // Extract the DIP and learn the oracle's response.
+                let dip: Vec<bool> = miter
+                    .inputs
+                    .iter()
+                    .map(|&l| solver.model_value(l).unwrap_or(false))
+                    .collect();
+                let response = oracle.query(&dip);
+                dips += 1;
+                if config.record_dips {
+                    dip_patterns.push(dip.clone());
+                }
+                // Both key copies must reproduce the response at this input.
+                for keys in [&miter.keys_left, &miter.keys_right] {
+                    let binding = if config.fold_dip_copies {
+                        Binding::with_pinned_inputs_shared_keys(&dip, keys)
+                    } else {
+                        // Textbook mode: a full copy with fresh input
+                        // variables pinned by unit clauses.
+                        let mut b = Binding::fresh(locked);
+                        b.keys = keys.iter().map(|&l| PortBinding::Shared(l)).collect();
+                        b
+                    };
+                    let enc = encode(&mut solver, locked, &binding)?;
+                    if !config.fold_dip_copies {
+                        for (val, &bit) in enc.inputs.iter().zip(&dip) {
+                            assert_value(&mut solver, *val, bit);
+                        }
+                    }
+                    for (out, &want) in enc.outputs.iter().zip(&response) {
+                        assert_value(&mut solver, *out, want);
+                    }
+                }
+                if let Some(max) = config.max_dips {
+                    if dips >= max {
+                        return Ok(finish(
+                            AttackStatus::DipLimit,
+                            None,
+                            dips,
+                            dip_patterns,
+                            &solver,
+                            oracle,
+                        ));
+                    }
+                }
+            }
+            SolveResult::Unsat => {
+                // No more DIPs: every remaining key is functionally correct.
+                // Key extraction must not assume the miter.
+                if let Some(limit) = config.time_limit {
+                    let elapsed = start.elapsed();
+                    if elapsed >= limit {
+                        return Ok(finish(
+                            AttackStatus::TimeLimit,
+                            None,
+                            dips,
+                            dip_patterns,
+                            &solver,
+                            oracle,
+                        ));
+                    }
+                    solver.set_time_budget(Some(limit - elapsed));
+                }
+                return match solver.solve(&[]) {
+                    SolveResult::Sat => {
+                        let key = Key::new(
+                            miter
+                                .keys_left
+                                .iter()
+                                .map(|&l| solver.model_value(l).unwrap_or(false))
+                                .collect(),
+                        );
+                        Ok(finish(
+                            AttackStatus::Success,
+                            Some(key),
+                            dips,
+                            dip_patterns,
+                            &solver,
+                            oracle,
+                        ))
+                    }
+                    SolveResult::Unsat => Ok(finish(
+                        AttackStatus::Inconsistent,
+                        None,
+                        dips,
+                        dip_patterns,
+                        &solver,
+                        oracle,
+                    )),
+                    SolveResult::Unknown => Ok(finish(
+                        AttackStatus::TimeLimit,
+                        None,
+                        dips,
+                        dip_patterns,
+                        &solver,
+                        oracle,
+                    )),
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::SimOracle;
+    use polykey_locking::{
+        lock_antisat, lock_rll, lock_sarlock_with_key, AntisatConfig, SarlockConfig,
+    };
+    use polykey_netlist::{bits_of, GateKind, Simulator};
+    use rand::SeedableRng;
+
+    fn majority3() -> Netlist {
+        let mut nl = Netlist::new("maj3");
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let c = nl.add_input("c").unwrap();
+        let ab = nl.add_gate("ab", GateKind::And, &[a, b]).unwrap();
+        let ac = nl.add_gate("ac", GateKind::And, &[a, c]).unwrap();
+        let bc = nl.add_gate("bc", GateKind::And, &[b, c]).unwrap();
+        let y = nl.add_gate("y", GateKind::Or, &[ab, ac, bc]).unwrap();
+        nl.mark_output(y).unwrap();
+        nl
+    }
+
+    /// Checks that a recovered key makes the locked circuit behave like the
+    /// original on every input (exhaustive for small circuits).
+    fn key_is_functionally_correct(original: &Netlist, locked: &Netlist, key: &Key) -> bool {
+        let ni = original.inputs().len();
+        let mut orig = Simulator::new(original).unwrap();
+        let mut lsim = Simulator::new(locked).unwrap();
+        (0..(1u64 << ni)).all(|v| {
+            let bits = bits_of(v, ni);
+            lsim.eval(&bits, key.bits()) == orig.eval(&bits, &[])
+        })
+    }
+
+    #[test]
+    fn breaks_rll() {
+        let nl = majority3();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let locked = lock_rll(&nl, 4, &mut rng).unwrap();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        let outcome =
+            sat_attack(&locked.netlist, &mut oracle, &SatAttackConfig::new()).unwrap();
+        assert!(outcome.is_success());
+        let key = outcome.key.expect("success ⇒ key");
+        assert!(key_is_functionally_correct(&nl, &locked.netlist, &key));
+        assert_eq!(outcome.stats.oracle_queries, outcome.stats.dips);
+    }
+
+    #[test]
+    fn breaks_sarlock_with_expected_dip_count() {
+        // SARLock with |K| = 3: the miter can eliminate exactly one wrong
+        // key per DIP, so the attack needs ≈ 2^|K| - 1 DIPs.
+        let nl = majority3();
+        let key = polykey_locking::Key::from_u64(0b101, 3);
+        let locked = lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &key).unwrap();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        let outcome =
+            sat_attack(&locked.netlist, &mut oracle, &SatAttackConfig::new()).unwrap();
+        assert!(outcome.is_success());
+        let got = outcome.key.expect("key");
+        assert!(key_is_functionally_correct(&nl, &locked.netlist, &got));
+        assert!(
+            (7..=8).contains(&outcome.stats.dips),
+            "SARLock |K|=3 needs ~2^3-1 DIPs, got {}",
+            outcome.stats.dips
+        );
+    }
+
+    #[test]
+    fn breaks_antisat_functionally() {
+        let nl = majority3();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let locked = lock_antisat(&nl, &AntisatConfig::new(2), &mut rng).unwrap();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        let outcome =
+            sat_attack(&locked.netlist, &mut oracle, &SatAttackConfig::new()).unwrap();
+        assert!(outcome.is_success());
+        let key = outcome.key.expect("key");
+        // The recovered key need not equal the nominal one (Anti-SAT has
+        // 2^n correct keys), but it must be functionally correct.
+        assert!(key_is_functionally_correct(&nl, &locked.netlist, &key));
+    }
+
+    #[test]
+    fn dip_limit_stops_early() {
+        let nl = majority3();
+        let key = polykey_locking::Key::from_u64(0b110, 3);
+        let locked = lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &key).unwrap();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        let mut config = SatAttackConfig::new();
+        config.max_dips = Some(2);
+        let outcome = sat_attack(&locked.netlist, &mut oracle, &config).unwrap();
+        assert_eq!(outcome.status, AttackStatus::DipLimit);
+        assert_eq!(outcome.stats.dips, 2);
+        assert!(outcome.key.is_none());
+    }
+
+    #[test]
+    fn forced_inputs_stay_forced() {
+        let nl = majority3();
+        let key = polykey_locking::Key::from_u64(0b011, 3);
+        let locked = lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &key).unwrap();
+        let inner = SimOracle::new(&nl).unwrap();
+        let mut oracle = crate::oracle::RestrictedOracle::new(inner, vec![(0, true)]);
+        let mut config = SatAttackConfig::new();
+        config.force_inputs = vec![(0, true)];
+        let outcome = sat_attack(&locked.netlist, &mut oracle, &config).unwrap();
+        assert!(outcome.is_success());
+        // Every recorded DIP respects the forced bit.
+        assert!(outcome.dip_patterns.iter().all(|d| d[0]));
+        // The recovered key unlocks the a=1 half-space.
+        let got = outcome.key.expect("key");
+        let mut orig = Simulator::new(&nl).unwrap();
+        let mut lsim = Simulator::new(&locked.netlist).unwrap();
+        for v in 0..8u64 {
+            let bits = bits_of(v, 3);
+            if bits[0] {
+                assert_eq!(lsim.eval(&bits, got.bits()), orig.eval(&bits, &[]));
+            }
+        }
+    }
+
+    #[test]
+    fn keyless_circuit_succeeds_trivially() {
+        let nl = majority3();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        let outcome = sat_attack(&nl, &mut oracle, &SatAttackConfig::new()).unwrap();
+        assert!(outcome.is_success());
+        assert_eq!(outcome.stats.dips, 0);
+        assert_eq!(outcome.key.expect("empty key").len(), 0);
+    }
+
+    #[test]
+    fn oracle_width_mismatch_rejected() {
+        let nl = majority3();
+        let mut big = Netlist::new("big");
+        for i in 0..4 {
+            big.add_input(format!("x{i}")).unwrap();
+        }
+        let g = big
+            .add_gate("g", GateKind::And, &big.inputs().to_vec())
+            .unwrap();
+        big.mark_output(g).unwrap();
+        let mut oracle = SimOracle::new(&big).unwrap();
+        assert!(matches!(
+            sat_attack(&nl, &mut oracle, &SatAttackConfig::new()),
+            Err(AttackError::OracleMismatch { what: "inputs", .. })
+        ));
+    }
+
+    #[test]
+    fn time_limit_reports_timeout() {
+        // A zero time limit must stop immediately with TimeLimit.
+        let nl = majority3();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let locked = lock_rll(&nl, 4, &mut rng).unwrap();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        let mut config = SatAttackConfig::new();
+        config.time_limit = Some(Duration::ZERO);
+        let outcome = sat_attack(&locked.netlist, &mut oracle, &config).unwrap();
+        assert_eq!(outcome.status, AttackStatus::TimeLimit);
+    }
+}

@@ -1,0 +1,195 @@
+//! Integration tests for the attack crate: cross-scheme attacks, engine
+//! mode equivalence, and multi-key invariants on generated circuits.
+
+use polykey_attack::{
+    appsat_attack, multi_key_attack, recombine_multikey, sat_attack, select_split_inputs,
+    verify_key, verify_key_on_subspace, AppSatConfig, AttackStatus, MultiKeyConfig,
+    SatAttackConfig, SimOracle, SplitStrategy,
+};
+use polykey_circuits::{arith, generate_random, RandomCircuitSpec};
+use polykey_encode::{check_equivalence, EquivResult};
+use polykey_locking::{
+    lock_antisat, lock_lut, lock_rll, lock_sarlock_with_key, AntisatConfig, Key, LutConfig,
+    SarlockConfig,
+};
+use polykey_netlist::Netlist;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+/// The textbook and optimized engines must agree on everything but cost.
+#[test]
+fn textbook_and_folded_engines_agree() {
+    let original = generate_random(&RandomCircuitSpec::new("eng", 7, 3, 50, 11));
+    let locked =
+        lock_sarlock_with_key(&original, &SarlockConfig::new(5), &Key::from_u64(21, 5))
+            .expect("lockable");
+
+    let mut oracle = SimOracle::new(&original).expect("oracle");
+    let folded =
+        sat_attack(&locked.netlist, &mut oracle, &SatAttackConfig::new()).expect("runs");
+
+    let mut oracle = SimOracle::new(&original).expect("oracle");
+    let textbook =
+        sat_attack(&locked.netlist, &mut oracle, &SatAttackConfig::textbook()).expect("runs");
+
+    assert_eq!(folded.status, AttackStatus::Success);
+    assert_eq!(textbook.status, AttackStatus::Success);
+    // Identical solver-visible search problem ⇒ identical DIP sequence.
+    assert_eq!(folded.stats.dips, textbook.stats.dips);
+    let kf = folded.key.expect("key");
+    let kt = textbook.key.expect("key");
+    assert!(verify_key(&original, &locked.netlist, &kf).expect("verify"));
+    assert!(verify_key(&original, &locked.netlist, &kt).expect("verify"));
+}
+
+/// Multi-key attack across all split strategies still yields sub-space
+/// correct keys (the strategies differ only in efficiency).
+#[test]
+fn all_split_strategies_give_subspace_correct_keys() {
+    let original = generate_random(&RandomCircuitSpec::new("strat", 8, 3, 70, 5));
+    let locked =
+        lock_sarlock_with_key(&original, &SarlockConfig::new(5), &Key::from_u64(9, 5))
+            .expect("lockable");
+    for strategy in [
+        SplitStrategy::FanoutCone,
+        SplitStrategy::FirstInputs,
+        SplitStrategy::Random { seed: 3 },
+    ] {
+        let mut config = MultiKeyConfig::with_split_effort(2);
+        config.strategy = strategy;
+        config.parallel = false;
+        let outcome =
+            multi_key_attack(&locked.netlist, &original, &config).expect("attack runs");
+        assert!(outcome.is_complete(), "{strategy:?}");
+        let positions: Vec<usize> = outcome
+            .split_inputs
+            .iter()
+            .map(|id| locked.netlist.inputs().iter().position(|p| p == id).expect("input"))
+            .collect();
+        for sub in &outcome.keys {
+            let forced: Vec<(usize, bool)> = positions
+                .iter()
+                .enumerate()
+                .map(|(j, &pos)| (pos, sub.pattern >> j & 1 == 1))
+                .collect();
+            assert!(
+                verify_key_on_subspace(&original, &locked.netlist, &sub.key, &forced)
+                    .expect("verify"),
+                "{strategy:?} pattern {:b}",
+                sub.pattern
+            );
+        }
+        // Recombination is equivalent regardless of strategy.
+        let rec = recombine_multikey(&locked.netlist, &outcome.split_inputs, &outcome.keys)
+            .expect("recombine");
+        assert_eq!(
+            check_equivalence(&original, &rec).expect("equiv"),
+            EquivResult::Equivalent
+        );
+    }
+}
+
+/// N = 4 with 16 parallel terms on a LUT-locked arithmetic circuit: the
+/// full Table-2 pipeline in miniature.
+#[test]
+fn table2_pipeline_miniature() {
+    let original = arith::multiplier(6);
+    let cfg = LutConfig::small();
+    let locked = lock_lut(&original, &cfg, &mut rng(8)).expect("lockable");
+
+    let mut config = MultiKeyConfig::with_split_effort(4);
+    config.parallel = true;
+    config.sat.record_dips = false;
+    let outcome = multi_key_attack(&locked.netlist, &original, &config).expect("runs");
+    assert!(outcome.is_complete());
+    assert_eq!(outcome.reports.len(), 16);
+    let rec = recombine_multikey(&locked.netlist, &outcome.split_inputs, &outcome.keys)
+        .expect("recombine");
+    assert_eq!(check_equivalence(&original, &rec).expect("equiv"), EquivResult::Equivalent);
+}
+
+/// The multi-key attack on a keyless circuit degenerates gracefully.
+#[test]
+fn multikey_on_keyless_circuit() {
+    let original = arith::parity(5);
+    let mut config = MultiKeyConfig::with_split_effort(1);
+    config.parallel = false;
+    let outcome = multi_key_attack(&original, &original, &config).expect("runs");
+    assert!(outcome.is_complete());
+    for sub in &outcome.keys {
+        assert_eq!(sub.key.len(), 0);
+    }
+}
+
+/// Split selection is deterministic and respects N across strategies.
+#[test]
+fn split_selection_invariants() {
+    let original = generate_random(&RandomCircuitSpec::new("sel", 12, 4, 100, 77));
+    let locked = lock_rll(&original, 8, &mut rng(2)).expect("lockable");
+    for n in 0..=4 {
+        for strategy in [
+            SplitStrategy::FanoutCone,
+            SplitStrategy::FirstInputs,
+            SplitStrategy::Random { seed: 1 },
+        ] {
+            let a = select_split_inputs(&locked.netlist, n, strategy).expect("valid");
+            let b = select_split_inputs(&locked.netlist, n, strategy).expect("valid");
+            assert_eq!(a, b, "deterministic for {strategy:?}");
+            assert_eq!(a.len(), n);
+            let mut dedup = a.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), n, "distinct ports for {strategy:?}");
+            for id in &a {
+                assert!(locked.netlist.inputs().contains(id));
+            }
+        }
+    }
+}
+
+/// AppSAT on Anti-SAT: non-unique correct keys, approximate termination
+/// still produces a functionally correct key (Anti-SAT's flip rate is low
+/// but its key space collapses fast under DIPs).
+#[test]
+fn appsat_on_antisat() {
+    let original = arith::ripple_adder(3);
+    let locked =
+        lock_antisat(&original, &AntisatConfig::new(3), &mut rng(6)).expect("lockable");
+    let mut oracle = SimOracle::new(&original).expect("oracle");
+    let mut config = AppSatConfig::default();
+    config.queries_per_round = 128;
+    let outcome = appsat_attack(&locked.netlist, &mut oracle, &config).expect("runs");
+    let key = outcome.key.expect("key");
+    // Error must be tiny; for Anti-SAT usually exactly zero.
+    assert!(outcome.estimated_error <= 0.05, "err {}", outcome.estimated_error);
+    let mismatches = polykey_attack::random_sim_mismatches(
+        &original,
+        &locked.netlist,
+        &key,
+        512,
+        9,
+    )
+    .expect("sim");
+    assert!(mismatches <= 25, "{mismatches}/512 mismatches");
+}
+
+/// Oracle query accounting flows through the multi-key attack reports.
+#[test]
+fn multikey_oracle_accounting() {
+    let original: Netlist = generate_random(&RandomCircuitSpec::new("acc", 6, 2, 40, 31));
+    let locked =
+        lock_sarlock_with_key(&original, &SarlockConfig::new(4), &Key::from_u64(6, 4))
+            .expect("lockable");
+    let mut config = MultiKeyConfig::with_split_effort(2);
+    config.parallel = false;
+    let outcome = multi_key_attack(&locked.netlist, &original, &config).expect("runs");
+    for r in &outcome.reports {
+        assert_eq!(r.oracle_queries, r.dips, "term {:b}", r.pattern);
+    }
+    // Total DIPs across terms ≈ sum of sub-space eliminations; at minimum
+    // every term requires at least one solver round.
+    assert!(outcome.reports.iter().map(|r| r.dips).sum::<u64>() >= 1);
+}

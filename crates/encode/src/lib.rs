@@ -1,0 +1,53 @@
+//! # polykey-encode: netlists ⇄ CNF
+//!
+//! Bridges the [`polykey_netlist`] circuit world and the [`polykey_sat`]
+//! solver world:
+//!
+//! - [`encode`]: Tseitin encoding of a netlist copy with caller-controlled
+//!   port bindings ([`Binding`]): fresh variables, shared literals, or
+//!   pinned constants (with on-the-fly constant propagation);
+//! - [`build_miter`]: two circuit copies sharing primary inputs plus a
+//!   `diff` literal that, when assumed, forces an output difference — the
+//!   engine of the oracle-guided SAT attack;
+//! - [`check_equivalence`]: one-call combinational equivalence checking.
+//!
+//! # Examples
+//!
+//! Prove a locked circuit equals its original under the correct key:
+//!
+//! ```
+//! use polykey_netlist::{GateKind, Netlist, pin_keys};
+//! use polykey_encode::{check_equivalence, EquivResult};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut orig = Netlist::new("orig");
+//! let a = orig.add_input("a")?;
+//! let y = orig.add_gate("y", GateKind::Not, &[a])?;
+//! orig.mark_output(y)?;
+//!
+//! let mut locked = Netlist::new("locked");
+//! let a = locked.add_input("a")?;
+//! let k = locked.add_key_input("keyinput0")?;
+//! let x = locked.add_gate("x", GateKind::Xnor, &[a, k])?;
+//! locked.mark_output(x)?;
+//!
+//! // k = 0 turns the XNOR into a NOT (Xnor(a, 0) = ¬a).
+//! let unlocked = pin_keys(&locked, &[false])?;
+//! assert_eq!(check_equivalence(&orig, &unlocked)?, EquivResult::Equivalent);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod equiv;
+mod miter;
+mod tseitin;
+
+pub use equiv::{check_equivalence, EquivError, EquivResult};
+pub use miter::{build_miter, Miter, MiterError};
+pub use tseitin::{
+    assert_value, encode, encode_key_variant, Binding, CnfValue, EncodeError, EncodedCircuit,
+    PortBinding,
+};

@@ -1,0 +1,291 @@
+//! Miter construction: the difference detector at the heart of the SAT
+//! attack and of SAT-based equivalence checking.
+
+use polykey_netlist::Netlist;
+use polykey_sat::{Lit, Solver};
+
+use crate::tseitin::{encode, Binding, CnfValue, EncodeError};
+
+/// Errors raised while building a miter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MiterError {
+    /// The two netlists have different interface arity.
+    InterfaceMismatch {
+        /// Description of the mismatching port class.
+        what: &'static str,
+        /// Arity on the left.
+        left: usize,
+        /// Arity on the right.
+        right: usize,
+    },
+    /// Encoding failed.
+    Encode(EncodeError),
+}
+
+impl std::fmt::Display for MiterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MiterError::InterfaceMismatch { what, left, right } => {
+                write!(f, "interface mismatch: {left} vs {right} {what}")
+            }
+            MiterError::Encode(e) => write!(f, "encode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MiterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MiterError::Encode(e) => Some(e),
+            MiterError::InterfaceMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<EncodeError> for MiterError {
+    fn from(e: EncodeError) -> MiterError {
+        MiterError::Encode(e)
+    }
+}
+
+/// A miter of two circuit copies sharing primary inputs.
+///
+/// The `diff` literal is one-sided: asserting `diff` forces the two copies
+/// to produce different outputs somewhere. Solving under the assumption
+/// `diff` therefore yields a distinguishing input, and `Unsat` proves the
+/// copies are equivalent for all remaining key/input combinations.
+#[derive(Clone, Debug)]
+pub struct Miter {
+    /// Shared primary-input literals, in declaration order.
+    pub inputs: Vec<Lit>,
+    /// Key literals of the left copy (empty for keyless circuits).
+    pub keys_left: Vec<Lit>,
+    /// Key literals of the right copy.
+    pub keys_right: Vec<Lit>,
+    /// Output values of the left copy.
+    pub outputs_left: Vec<CnfValue>,
+    /// Output values of the right copy.
+    pub outputs_right: Vec<CnfValue>,
+    /// Assert this literal to require an output difference.
+    pub diff: Lit,
+    /// True when a pair of constant outputs already differs: the circuits
+    /// are unconditionally distinguishable and `diff` is forced true.
+    pub always_differs: bool,
+}
+
+/// Builds a miter between `left` and `right` inside `solver`.
+///
+/// The circuits must agree on the number of primary inputs and outputs; the
+/// inputs are shared between the copies while each copy receives fresh key
+/// variables (key counts may differ, e.g. original vs. locked).
+///
+/// # Errors
+///
+/// Returns [`MiterError::InterfaceMismatch`] when input/output arities
+/// differ and [`MiterError::Encode`] for encoding failures.
+pub fn build_miter(
+    solver: &mut Solver,
+    left: &Netlist,
+    right: &Netlist,
+) -> Result<Miter, MiterError> {
+    if left.inputs().len() != right.inputs().len() {
+        return Err(MiterError::InterfaceMismatch {
+            what: "primary inputs",
+            left: left.inputs().len(),
+            right: right.inputs().len(),
+        });
+    }
+    if left.outputs().len() != right.outputs().len() {
+        return Err(MiterError::InterfaceMismatch {
+            what: "outputs",
+            left: left.outputs().len(),
+            right: right.outputs().len(),
+        });
+    }
+    let enc_left = encode(solver, left, &Binding::fresh(left))?;
+    let shared: Vec<Lit> =
+        enc_left.inputs.iter().map(|v| v.lit().expect("fresh inputs are literals")).collect();
+    // When both sides are literally the same netlist (the SAT attack's
+    // self-miter), share every node outside the key cone between the two
+    // copies: the solver then never re-proves the equality of identical
+    // key-independent logic, and only the key cone is duplicated.
+    let enc_right = if std::ptr::eq(left, right) {
+        crate::tseitin::encode_key_variant(
+            solver,
+            right,
+            &enc_left,
+            &vec![crate::tseitin::PortBinding::Fresh; right.key_inputs().len()],
+        )?
+    } else {
+        encode(
+            solver,
+            right,
+            &Binding::with_shared_inputs(&shared, right.key_inputs().len()),
+        )?
+    };
+
+    let keys_left: Vec<Lit> =
+        enc_left.keys.iter().map(|v| v.lit().expect("fresh keys are literals")).collect();
+    let keys_right: Vec<Lit> =
+        enc_right.keys.iter().map(|v| v.lit().expect("fresh keys are literals")).collect();
+
+    let diff = solver.new_var().positive();
+    let mut disjuncts: Vec<Lit> = vec![!diff];
+    let mut always_differs = false;
+    for (l, r) in enc_left.outputs.iter().zip(&enc_right.outputs) {
+        if l == r {
+            // Structurally identical outputs (shared encoding) can never
+            // differ; no disjunct needed.
+            continue;
+        }
+        match (l, r) {
+            (CnfValue::Const(a), CnfValue::Const(b)) => {
+                if a != b {
+                    always_differs = true;
+                }
+            }
+            (CnfValue::Lit(a), CnfValue::Const(b)) | (CnfValue::Const(b), CnfValue::Lit(a)) => {
+                // d → (a ≠ b) collapses to d → (a = ¬b).
+                let d = solver.new_var().positive();
+                let target = if *b { !*a } else { *a };
+                solver.add_clause(&[!d, target]);
+                disjuncts.push(d);
+            }
+            (CnfValue::Lit(a), CnfValue::Lit(b)) => {
+                let d = solver.new_var().positive();
+                // d → (a ⊕ b): two one-sided clauses suffice under assumption.
+                solver.add_clause(&[!d, *a, *b]);
+                solver.add_clause(&[!d, !*a, !*b]);
+                disjuncts.push(d);
+            }
+        }
+    }
+    if always_differs {
+        solver.add_clause(&[diff]);
+    } else {
+        // diff → at least one output pair differs.
+        solver.add_clause(&disjuncts);
+    }
+
+    Ok(Miter {
+        inputs: shared,
+        keys_left,
+        keys_right,
+        outputs_left: enc_left.outputs,
+        outputs_right: enc_right.outputs,
+        diff,
+        always_differs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polykey_netlist::{GateKind, Netlist};
+    use polykey_sat::SolveResult;
+
+    fn and_circuit() -> Netlist {
+        let mut nl = Netlist::new("and");
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let y = nl.add_gate("y", GateKind::And, &[a, b]).unwrap();
+        nl.mark_output(y).unwrap();
+        nl
+    }
+
+    fn and_circuit_demorgan() -> Netlist {
+        // y = ¬(¬a ∨ ¬b): equivalent to AND.
+        let mut nl = Netlist::new("and_dm");
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let na = nl.add_gate("na", GateKind::Not, &[a]).unwrap();
+        let nb = nl.add_gate("nb", GateKind::Not, &[b]).unwrap();
+        let y = nl.add_gate("y", GateKind::Nor, &[na, nb]).unwrap();
+        nl.mark_output(y).unwrap();
+        nl
+    }
+
+    fn or_circuit() -> Netlist {
+        let mut nl = Netlist::new("or");
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let y = nl.add_gate("y", GateKind::Or, &[a, b]).unwrap();
+        nl.mark_output(y).unwrap();
+        nl
+    }
+
+    #[test]
+    fn equivalent_circuits_give_unsat_miter() {
+        let mut solver = Solver::new();
+        let miter = build_miter(&mut solver, &and_circuit(), &and_circuit_demorgan()).unwrap();
+        assert_eq!(solver.solve(&[miter.diff]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn different_circuits_give_distinguishing_input() {
+        let mut solver = Solver::new();
+        let miter = build_miter(&mut solver, &and_circuit(), &or_circuit()).unwrap();
+        assert_eq!(solver.solve(&[miter.diff]), SolveResult::Sat);
+        let a = solver.model_value(miter.inputs[0]).unwrap();
+        let b = solver.model_value(miter.inputs[1]).unwrap();
+        // AND and OR differ exactly when a ≠ b.
+        assert_ne!(a, b, "distinguishing input must separate AND from OR");
+    }
+
+    #[test]
+    fn interface_mismatch_detected() {
+        let mut big = Netlist::new("big");
+        let a = big.add_input("a").unwrap();
+        let b = big.add_input("b").unwrap();
+        let c = big.add_input("c").unwrap();
+        let y = big.add_gate("y", GateKind::And, &[a, b, c]).unwrap();
+        big.mark_output(y).unwrap();
+        let mut solver = Solver::new();
+        let err = build_miter(&mut solver, &and_circuit(), &big).unwrap_err();
+        assert!(matches!(err, MiterError::InterfaceMismatch { what: "primary inputs", .. }));
+    }
+
+    #[test]
+    fn locked_vs_original_miter_finds_wrong_key() {
+        // Locked buffer: y = a ⊕ k. Original: y = a. The miter (with fresh
+        // key on the right) is satisfiable exactly when k = 1.
+        let mut orig = Netlist::new("orig");
+        let a = orig.add_input("a").unwrap();
+        let y = orig.add_gate("y", GateKind::Buf, &[a]).unwrap();
+        orig.mark_output(y).unwrap();
+
+        let mut locked = Netlist::new("locked");
+        let a = locked.add_input("a").unwrap();
+        let k = locked.add_key_input("k").unwrap();
+        let y = locked.add_gate("y", GateKind::Xor, &[a, k]).unwrap();
+        locked.mark_output(y).unwrap();
+
+        let mut solver = Solver::new();
+        let miter = build_miter(&mut solver, &orig, &locked).unwrap();
+        assert_eq!(miter.keys_left.len(), 0);
+        assert_eq!(miter.keys_right.len(), 1);
+        assert_eq!(solver.solve(&[miter.diff]), SolveResult::Sat);
+        assert_eq!(solver.model_value(miter.keys_right[0]), Some(true), "only k=1 differs");
+
+        // Pinning the key to 0 makes the miter unsat: correct key.
+        assert_eq!(solver.solve(&[miter.diff, !miter.keys_right[0]]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn constant_difference_forces_diff() {
+        // Left outputs constant 0, right outputs constant 1.
+        let mut zero = Netlist::new("zero");
+        let _a = zero.add_input("a").unwrap();
+        let z = zero.add_const("z", false).unwrap();
+        zero.mark_output(z).unwrap();
+        let mut one = Netlist::new("one");
+        let _a = one.add_input("a").unwrap();
+        let o = one.add_const("o", true).unwrap();
+        one.mark_output(o).unwrap();
+
+        let mut solver = Solver::new();
+        let miter = build_miter(&mut solver, &zero, &one).unwrap();
+        assert!(miter.always_differs);
+        assert_eq!(solver.solve(&[miter.diff]), SolveResult::Sat);
+    }
+}

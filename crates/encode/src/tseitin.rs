@@ -1,0 +1,592 @@
+//! Tseitin encoding of netlists into CNF, with caller-controlled port
+//! bindings.
+//!
+//! The SAT attack builds many CNF copies of the same circuit that differ
+//! only in how ports are presented: the miter shares primary-input variables
+//! between two copies while giving each copy its own key variables; the
+//! per-DIP consistency constraints pin inputs to constants while sharing key
+//! variables with the miter copies. [`Binding`] expresses all of these cases
+//! and [`encode`] performs constant propagation on the fly, so pinned copies
+//! shrink to just the key-dependent logic.
+
+use polykey_netlist::{GateKind, Netlist, NetlistError};
+use polykey_sat::{ClauseSink, Lit};
+
+/// A CNF-level value: either a literal or a known constant.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CnfValue {
+    /// The value of this signal is the literal's value.
+    Lit(Lit),
+    /// The signal is a known constant.
+    Const(bool),
+}
+
+impl CnfValue {
+    /// Logical negation (free for both representations).
+    pub fn negate(self) -> CnfValue {
+        match self {
+            CnfValue::Lit(l) => CnfValue::Lit(!l),
+            CnfValue::Const(b) => CnfValue::Const(!b),
+        }
+    }
+
+    /// The literal, if this value is not a constant.
+    pub fn lit(self) -> Option<Lit> {
+        match self {
+            CnfValue::Lit(l) => Some(l),
+            CnfValue::Const(_) => None,
+        }
+    }
+
+    /// The constant, if known.
+    pub fn constant(self) -> Option<bool> {
+        match self {
+            CnfValue::Lit(_) => None,
+            CnfValue::Const(b) => Some(b),
+        }
+    }
+}
+
+impl From<Lit> for CnfValue {
+    fn from(l: Lit) -> CnfValue {
+        CnfValue::Lit(l)
+    }
+}
+
+impl From<bool> for CnfValue {
+    fn from(b: bool) -> CnfValue {
+        CnfValue::Const(b)
+    }
+}
+
+/// How one port of the circuit is presented to the encoding.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum PortBinding {
+    /// Allocate a fresh solver variable for this port.
+    #[default]
+    Fresh,
+    /// Reuse an existing literal (e.g. shared with another circuit copy).
+    Shared(Lit),
+    /// Pin the port to a constant; downstream logic is folded away.
+    Pinned(bool),
+}
+
+/// Port bindings for one circuit copy: one entry per primary input and per
+/// key input, in declaration order.
+#[derive(Clone, Debug, Default)]
+pub struct Binding {
+    /// Bindings for the primary inputs.
+    pub inputs: Vec<PortBinding>,
+    /// Bindings for the key inputs.
+    pub keys: Vec<PortBinding>,
+}
+
+impl Binding {
+    /// All ports fresh: an independent copy of the circuit.
+    pub fn fresh(netlist: &Netlist) -> Binding {
+        Binding {
+            inputs: vec![PortBinding::Fresh; netlist.inputs().len()],
+            keys: vec![PortBinding::Fresh; netlist.key_inputs().len()],
+        }
+    }
+
+    /// Fresh keys, inputs pinned to the given pattern.
+    pub fn with_pinned_inputs(netlist: &Netlist, pattern: &[bool]) -> Binding {
+        Binding {
+            inputs: pattern.iter().map(|&b| PortBinding::Pinned(b)).collect(),
+            keys: vec![PortBinding::Fresh; netlist.key_inputs().len()],
+        }
+    }
+
+    /// Inputs pinned to a pattern, keys shared with an existing copy.
+    pub fn with_pinned_inputs_shared_keys(pattern: &[bool], keys: &[Lit]) -> Binding {
+        Binding {
+            inputs: pattern.iter().map(|&b| PortBinding::Pinned(b)).collect(),
+            keys: keys.iter().map(|&l| PortBinding::Shared(l)).collect(),
+        }
+    }
+
+    /// Inputs shared with an existing copy, fresh keys.
+    pub fn with_shared_inputs(inputs: &[Lit], num_keys: usize) -> Binding {
+        Binding {
+            inputs: inputs.iter().map(|&l| PortBinding::Shared(l)).collect(),
+            keys: vec![PortBinding::Fresh; num_keys],
+        }
+    }
+}
+
+/// The result of encoding one circuit copy.
+#[derive(Clone, Debug)]
+pub struct EncodedCircuit {
+    /// CNF values of the primary inputs, in declaration order.
+    pub inputs: Vec<CnfValue>,
+    /// CNF values of the key inputs, in declaration order.
+    pub keys: Vec<CnfValue>,
+    /// CNF values of the outputs, in declaration order.
+    pub outputs: Vec<CnfValue>,
+    /// CNF value of every node, indexed by [`polykey_netlist::NodeId`].
+    /// Enables structure sharing between circuit copies
+    /// (see [`encode_key_variant`]).
+    pub node_values: Vec<CnfValue>,
+}
+
+/// Errors raised by encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// Binding vector length does not match the port count.
+    BindingWidth {
+        /// "inputs" or "keys".
+        which: &'static str,
+        /// Ports in the netlist.
+        expected: usize,
+        /// Bindings supplied.
+        got: usize,
+    },
+    /// The netlist is structurally broken (e.g. cyclic).
+    Netlist(NetlistError),
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::BindingWidth { which, expected, got } => {
+                write!(f, "binding for {which} has {got} entries, netlist has {expected}")
+            }
+            EncodeError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EncodeError::Netlist(e) => Some(e),
+            EncodeError::BindingWidth { .. } => None,
+        }
+    }
+}
+
+impl From<NetlistError> for EncodeError {
+    fn from(e: NetlistError) -> EncodeError {
+        EncodeError::Netlist(e)
+    }
+}
+
+/// Encodes one copy of `netlist` into `sink` under the given port bindings.
+///
+/// Constants propagate during encoding: gates whose value is forced by
+/// pinned ports produce no variables or clauses. Inverting gates (`Not`,
+/// `Nand`, `Nor`, `Xnor`) reuse their base gate's variable with a negated
+/// literal, costing nothing extra.
+///
+/// # Errors
+///
+/// Returns [`EncodeError::BindingWidth`] on port-count mismatch and
+/// [`EncodeError::Netlist`] for cyclic netlists.
+pub fn encode<S: ClauseSink>(
+    sink: &mut S,
+    netlist: &Netlist,
+    binding: &Binding,
+) -> Result<EncodedCircuit, EncodeError> {
+    if binding.inputs.len() != netlist.inputs().len() {
+        return Err(EncodeError::BindingWidth {
+            which: "inputs",
+            expected: netlist.inputs().len(),
+            got: binding.inputs.len(),
+        });
+    }
+    if binding.keys.len() != netlist.key_inputs().len() {
+        return Err(EncodeError::BindingWidth {
+            which: "keys",
+            expected: netlist.key_inputs().len(),
+            got: binding.keys.len(),
+        });
+    }
+    let order = netlist.topological_order()?;
+    let mut values: Vec<Option<CnfValue>> = vec![None; netlist.num_nodes()];
+
+    let bind_port = |sink: &mut S, b: PortBinding| -> CnfValue {
+        match b {
+            PortBinding::Fresh => CnfValue::Lit(sink.new_var().positive()),
+            PortBinding::Shared(l) => CnfValue::Lit(l),
+            PortBinding::Pinned(v) => CnfValue::Const(v),
+        }
+    };
+    let mut input_values = Vec::with_capacity(binding.inputs.len());
+    for (i, &pi) in netlist.inputs().iter().enumerate() {
+        let v = bind_port(sink, binding.inputs[i]);
+        values[pi.index()] = Some(v);
+        input_values.push(v);
+    }
+    let mut key_values = Vec::with_capacity(binding.keys.len());
+    for (i, &ki) in netlist.key_inputs().iter().enumerate() {
+        let v = bind_port(sink, binding.keys[i]);
+        values[ki.index()] = Some(v);
+        key_values.push(v);
+    }
+
+    for id in order {
+        let node = netlist.node(id);
+        if node.kind().is_input() {
+            continue;
+        }
+        let fanins: Vec<CnfValue> =
+            node.fanins().iter().map(|f| values[f.index()].expect("topo order")).collect();
+        values[id.index()] = Some(encode_gate(sink, node.kind(), &fanins));
+    }
+
+    let outputs = netlist
+        .outputs()
+        .iter()
+        .map(|o| values[o.index()].expect("outputs encoded"))
+        .collect();
+    let node_values = values.into_iter().map(|v| v.expect("all nodes encoded")).collect();
+    Ok(EncodedCircuit { inputs: input_values, keys: key_values, outputs, node_values })
+}
+
+/// Encodes a *key variant* of an already-encoded circuit copy: primary
+/// inputs and every node **not** in the transitive fanout of a key input
+/// reuse `prior`'s CNF values verbatim; only the key inputs (bound per
+/// `key_binding`) and the key-controlled cone are encoded fresh.
+///
+/// This is how the SAT attack's miter shares structure between its two
+/// copies: the copies agree everywhere except downstream of the keys, so
+/// the solver never has to re-derive the equality of shared logic.
+///
+/// `prior` must come from [`encode`] (or this function) over the *same*
+/// netlist value.
+///
+/// # Errors
+///
+/// Returns [`EncodeError::BindingWidth`] on key-count mismatch (also used
+/// when `prior` does not match the netlist's node count) and
+/// [`EncodeError::Netlist`] for cyclic netlists.
+pub fn encode_key_variant<S: ClauseSink>(
+    sink: &mut S,
+    netlist: &Netlist,
+    prior: &EncodedCircuit,
+    key_binding: &[PortBinding],
+) -> Result<EncodedCircuit, EncodeError> {
+    if key_binding.len() != netlist.key_inputs().len() {
+        return Err(EncodeError::BindingWidth {
+            which: "keys",
+            expected: netlist.key_inputs().len(),
+            got: key_binding.len(),
+        });
+    }
+    if prior.node_values.len() != netlist.num_nodes() {
+        return Err(EncodeError::BindingWidth {
+            which: "prior node values",
+            expected: netlist.num_nodes(),
+            got: prior.node_values.len(),
+        });
+    }
+    let order = netlist.topological_order()?;
+    let key_cone = polykey_netlist::analysis::transitive_fanout(netlist, netlist.key_inputs());
+    let mut values: Vec<Option<CnfValue>> = vec![None; netlist.num_nodes()];
+
+    for &pi in netlist.inputs() {
+        values[pi.index()] = Some(prior.node_values[pi.index()]);
+    }
+    let mut key_values = Vec::with_capacity(key_binding.len());
+    for (i, &ki) in netlist.key_inputs().iter().enumerate() {
+        let v = match key_binding[i] {
+            PortBinding::Fresh => CnfValue::Lit(sink.new_var().positive()),
+            PortBinding::Shared(l) => CnfValue::Lit(l),
+            PortBinding::Pinned(b) => CnfValue::Const(b),
+        };
+        values[ki.index()] = Some(v);
+        key_values.push(v);
+    }
+    for id in order {
+        let node = netlist.node(id);
+        if node.kind().is_input() {
+            continue;
+        }
+        if !key_cone[id.index()] {
+            values[id.index()] = Some(prior.node_values[id.index()]);
+            continue;
+        }
+        let fanins: Vec<CnfValue> =
+            node.fanins().iter().map(|f| values[f.index()].expect("topo order")).collect();
+        values[id.index()] = Some(encode_gate(sink, node.kind(), &fanins));
+    }
+    let outputs = netlist
+        .outputs()
+        .iter()
+        .map(|o| values[o.index()].expect("outputs encoded"))
+        .collect();
+    let node_values = values.into_iter().map(|v| v.expect("all nodes encoded")).collect();
+    Ok(EncodedCircuit { inputs: prior.inputs.clone(), keys: key_values, outputs, node_values })
+}
+
+/// Encodes a single gate, folding constants.
+fn encode_gate<S: ClauseSink>(sink: &mut S, kind: GateKind, fanins: &[CnfValue]) -> CnfValue {
+    match kind {
+        GateKind::Input | GateKind::KeyInput => unreachable!("handled by caller"),
+        GateKind::Const(v) => CnfValue::Const(v),
+        GateKind::Buf => fanins[0],
+        GateKind::Not => fanins[0].negate(),
+        GateKind::And => encode_and(sink, fanins),
+        GateKind::Nand => encode_and(sink, fanins).negate(),
+        GateKind::Or => encode_and(sink, &negate_all(fanins)).negate(),
+        GateKind::Nor => encode_and(sink, &negate_all(fanins)),
+        GateKind::Xor => encode_xor(sink, fanins),
+        GateKind::Xnor => encode_xor(sink, fanins).negate(),
+        GateKind::Mux => encode_mux(sink, fanins[0], fanins[1], fanins[2]),
+    }
+}
+
+fn negate_all(fanins: &[CnfValue]) -> Vec<CnfValue> {
+    fanins.iter().map(|v| v.negate()).collect()
+}
+
+/// `y = AND(fanins)` with constant folding and degenerate-case elision.
+fn encode_and<S: ClauseSink>(sink: &mut S, fanins: &[CnfValue]) -> CnfValue {
+    let mut lits: Vec<Lit> = Vec::with_capacity(fanins.len());
+    for &v in fanins {
+        match v {
+            CnfValue::Const(false) => return CnfValue::Const(false),
+            CnfValue::Const(true) => {}
+            CnfValue::Lit(l) => lits.push(l),
+        }
+    }
+    lits.sort_unstable();
+    lits.dedup();
+    // x ∧ ¬x = 0.
+    for w in lits.windows(2) {
+        if w[0] == !w[1] {
+            return CnfValue::Const(false);
+        }
+    }
+    match lits.len() {
+        0 => CnfValue::Const(true),
+        1 => CnfValue::Lit(lits[0]),
+        _ => {
+            let y = sink.new_var().positive();
+            // y → l_i, and (∧ l_i) → y.
+            let mut long = Vec::with_capacity(lits.len() + 1);
+            long.push(y);
+            for &l in &lits {
+                sink.add_clause(&[!y, l]);
+                long.push(!l);
+            }
+            sink.add_clause(&long);
+            CnfValue::Lit(y)
+        }
+    }
+}
+
+/// Parity via a chain of binary XOR variables.
+fn encode_xor<S: ClauseSink>(sink: &mut S, fanins: &[CnfValue]) -> CnfValue {
+    let mut acc = CnfValue::Const(false);
+    for &v in fanins {
+        acc = encode_xor2(sink, acc, v);
+    }
+    acc
+}
+
+fn encode_xor2<S: ClauseSink>(sink: &mut S, a: CnfValue, b: CnfValue) -> CnfValue {
+    match (a, b) {
+        (CnfValue::Const(x), CnfValue::Const(y)) => CnfValue::Const(x ^ y),
+        (CnfValue::Const(false), v) | (v, CnfValue::Const(false)) => v,
+        (CnfValue::Const(true), v) | (v, CnfValue::Const(true)) => v.negate(),
+        (CnfValue::Lit(x), CnfValue::Lit(y)) => {
+            if x == y {
+                return CnfValue::Const(false);
+            }
+            if x == !y {
+                return CnfValue::Const(true);
+            }
+            let y2 = sink.new_var().positive();
+            sink.add_clause(&[!y2, x, y]);
+            sink.add_clause(&[!y2, !x, !y]);
+            sink.add_clause(&[y2, !x, y]);
+            sink.add_clause(&[y2, x, !y]);
+            CnfValue::Lit(y2)
+        }
+    }
+}
+
+/// `y = s ? d1 : d0`.
+fn encode_mux<S: ClauseSink>(sink: &mut S, s: CnfValue, d0: CnfValue, d1: CnfValue) -> CnfValue {
+    match s {
+        CnfValue::Const(true) => d1,
+        CnfValue::Const(false) => d0,
+        CnfValue::Lit(sl) => {
+            if d0 == d1 {
+                return d0;
+            }
+            match (d0, d1) {
+                (CnfValue::Const(false), CnfValue::Const(true)) => CnfValue::Lit(sl),
+                (CnfValue::Const(true), CnfValue::Const(false)) => CnfValue::Lit(!sl),
+                (CnfValue::Const(false), d1) => {
+                    encode_and(sink, &[CnfValue::Lit(sl), d1])
+                }
+                (CnfValue::Const(true), d1) => {
+                    // ¬s ∨ d1 = ¬(s ∧ ¬d1)
+                    encode_and(sink, &[CnfValue::Lit(sl), d1.negate()]).negate()
+                }
+                (d0, CnfValue::Const(false)) => {
+                    encode_and(sink, &[CnfValue::Lit(!sl), d0])
+                }
+                (d0, CnfValue::Const(true)) => {
+                    encode_and(sink, &[CnfValue::Lit(!sl), d0.negate()]).negate()
+                }
+                (CnfValue::Lit(a), CnfValue::Lit(b)) => {
+                    let y = sink.new_var().positive();
+                    // s → (y = b)
+                    sink.add_clause(&[!sl, !y, b]);
+                    sink.add_clause(&[!sl, y, !b]);
+                    // ¬s → (y = a)
+                    sink.add_clause(&[sl, !y, a]);
+                    sink.add_clause(&[sl, y, !a]);
+                    CnfValue::Lit(y)
+                }
+            }
+        }
+    }
+}
+
+/// Asserts that a CNF value equals a boolean constant. For a constant value
+/// that disagrees, adds the empty clause (making the formula unsatisfiable),
+/// which faithfully encodes the contradiction.
+pub fn assert_value<S: ClauseSink>(sink: &mut S, value: CnfValue, expected: bool) {
+    match value {
+        CnfValue::Lit(l) => {
+            let lit = if expected { l } else { !l };
+            sink.add_clause(&[lit]);
+        }
+        CnfValue::Const(b) => {
+            if b != expected {
+                sink.add_clause(&[]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polykey_netlist::{bits_of, GateKind, Netlist, Simulator};
+    use polykey_sat::{SolveResult, Solver};
+
+    /// Builds a 3-input test circuit with a couple of gate types.
+    fn sample() -> Netlist {
+        let mut nl = Netlist::new("s");
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let c = nl.add_input("c").unwrap();
+        let g1 = nl.add_gate("g1", GateKind::Nand, &[a, b]).unwrap();
+        let g2 = nl.add_gate("g2", GateKind::Xor, &[g1, c]).unwrap();
+        let g3 = nl.add_gate("g3", GateKind::Mux, &[a, g2, c]).unwrap();
+        nl.mark_output(g2).unwrap();
+        nl.mark_output(g3).unwrap();
+        nl
+    }
+
+    /// The encoded CNF must agree with simulation on every input pattern.
+    fn check_against_simulation(nl: &Netlist) {
+        let ni = nl.inputs().len();
+        let nk = nl.key_inputs().len();
+        let mut sim = Simulator::new(nl).unwrap();
+        for v in 0..(1u64 << (ni + nk)) {
+            let bits = bits_of(v, ni + nk);
+            let (ibits, kbits) = bits.split_at(ni);
+            let expected = sim.eval(ibits, kbits);
+
+            let mut solver = Solver::new();
+            let enc = encode(&mut solver, nl, &Binding::fresh(nl)).unwrap();
+            for (val, &b) in enc.inputs.iter().zip(ibits) {
+                assert_value(&mut solver, *val, b);
+            }
+            for (val, &b) in enc.keys.iter().zip(kbits) {
+                assert_value(&mut solver, *val, b);
+            }
+            assert_eq!(solver.solve(&[]), SolveResult::Sat);
+            for (o, val) in enc.outputs.iter().enumerate() {
+                let got = match val {
+                    CnfValue::Lit(l) => solver.model_value(*l).expect("assigned"),
+                    CnfValue::Const(b) => *b,
+                };
+                assert_eq!(got, expected[o], "output {o} at pattern {v:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_matches_simulation() {
+        check_against_simulation(&sample());
+    }
+
+    #[test]
+    fn encoding_matches_simulation_with_keys() {
+        let mut nl = Netlist::new("locked");
+        let a = nl.add_input("a").unwrap();
+        let k0 = nl.add_key_input("k0").unwrap();
+        let k1 = nl.add_key_input("k1").unwrap();
+        let x = nl.add_gate("x", GateKind::Xnor, &[a, k0]).unwrap();
+        let y = nl.add_gate("y", GateKind::Or, &[x, k1]).unwrap();
+        nl.mark_output(y).unwrap();
+        check_against_simulation(&nl);
+    }
+
+    #[test]
+    fn pinned_inputs_fold_everything() {
+        let nl = sample();
+        let mut solver = Solver::new();
+        let binding = Binding::with_pinned_inputs(&nl, &[true, false, true]);
+        let enc = encode(&mut solver, &nl, &binding).unwrap();
+        // No keys, all inputs pinned: outputs must be compile-time constants
+        // and the solver must have received no variables at all.
+        assert_eq!(solver.num_vars(), 0);
+        let mut sim = Simulator::new(&nl).unwrap();
+        let expected = sim.eval(&[true, false, true], &[]);
+        for (o, val) in enc.outputs.iter().enumerate() {
+            assert_eq!(val.constant(), Some(expected[o]));
+        }
+    }
+
+    #[test]
+    fn shared_inputs_are_reused() {
+        let nl = sample();
+        let mut solver = Solver::new();
+        let enc1 = encode(&mut solver, &nl, &Binding::fresh(&nl)).unwrap();
+        let shared: Vec<Lit> = enc1.inputs.iter().map(|v| v.lit().unwrap()).collect();
+        let enc2 =
+            encode(&mut solver, &nl, &Binding::with_shared_inputs(&shared, 0)).unwrap();
+        // Same inputs ⇒ same outputs: the miter over a circuit and itself
+        // with shared ports is unsatisfiable when outputs are forced apart.
+        let (o1, o2) = (enc1.outputs[0].lit().unwrap(), enc2.outputs[0].lit().unwrap());
+        solver.add_clause(&[o1, o2]);
+        solver.add_clause(&[!o1, !o2]);
+        assert_eq!(solver.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn binding_width_checked() {
+        let nl = sample();
+        let mut solver = Solver::new();
+        let bad = Binding { inputs: vec![PortBinding::Fresh; 2], keys: vec![] };
+        let err = encode(&mut solver, &nl, &bad).unwrap_err();
+        assert!(matches!(err, EncodeError::BindingWidth { which: "inputs", .. }));
+        assert!(err.to_string().contains("2 entries"));
+    }
+
+    #[test]
+    fn assert_value_on_conflicting_const_is_unsat() {
+        let mut solver = Solver::new();
+        assert_value(&mut solver, CnfValue::Const(true), false);
+        assert_eq!(solver.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn cnf_value_algebra() {
+        let l = polykey_sat::Var::new(0).positive();
+        assert_eq!(CnfValue::Lit(l).negate(), CnfValue::Lit(!l));
+        assert_eq!(CnfValue::Const(true).negate(), CnfValue::Const(false));
+        assert_eq!(CnfValue::from(l).lit(), Some(l));
+        assert_eq!(CnfValue::from(true).constant(), Some(true));
+        assert_eq!(CnfValue::Lit(l).constant(), None);
+    }
+}

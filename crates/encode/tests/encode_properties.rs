@@ -1,0 +1,179 @@
+//! Property-based tests: Tseitin encodings must agree with circuit
+//! simulation under every binding mode, and miters must be exactly as
+//! satisfiable as the circuits differ.
+
+use proptest::prelude::*;
+
+use polykey_encode::{
+    assert_value, build_miter, check_equivalence, encode, encode_key_variant, Binding,
+    CnfValue, EquivResult, PortBinding,
+};
+use polykey_netlist::{bits_of, GateKind, Netlist, NodeId, Simulator};
+use polykey_sat::{SolveResult, Solver};
+
+/// Builds a random DAG netlist with `num_inputs` inputs and `num_keys` key
+/// inputs from a byte recipe (deterministic, always valid).
+fn build_circuit(num_inputs: usize, num_keys: usize, recipe: &[(u8, u16, u16, u16)]) -> Netlist {
+    let mut nl = Netlist::new("prop");
+    let mut pool: Vec<NodeId> = Vec::new();
+    for i in 0..num_inputs {
+        pool.push(nl.add_input(format!("i{i}")).expect("fresh"));
+    }
+    for k in 0..num_keys {
+        pool.push(nl.add_key_input(format!("k{k}")).expect("fresh"));
+    }
+    for (g, &(sel, f0, f1, f2)) in recipe.iter().enumerate() {
+        let kind = match sel % 10 {
+            0 => GateKind::And,
+            1 => GateKind::Nand,
+            2 => GateKind::Or,
+            3 => GateKind::Nor,
+            4 => GateKind::Xor,
+            5 => GateKind::Xnor,
+            6 => GateKind::Not,
+            7 => GateKind::Buf,
+            8 => GateKind::Mux,
+            _ => GateKind::And,
+        };
+        let picks = [f0, f1, f2];
+        let arity = kind.arity().unwrap_or(2 + (sel as usize >> 4) % 2);
+        let fanins: Vec<NodeId> =
+            (0..arity).map(|i| pool[picks[i.min(2)] as usize % pool.len()]).collect();
+        pool.push(nl.add_gate(format!("g{g}"), kind, &fanins).expect("fresh"));
+    }
+    // Mark the last few nodes as outputs.
+    let n = pool.len();
+    for o in 0..2.min(n) {
+        nl.mark_output(pool[n - 1 - o]).expect("distinct");
+    }
+    nl
+}
+
+fn arb_circuit(num_inputs: usize, num_keys: usize) -> impl Strategy<Value = Netlist> {
+    proptest::collection::vec(
+        (any::<u8>(), any::<u16>(), any::<u16>(), any::<u16>()),
+        1..25,
+    )
+    .prop_map(move |recipe| build_circuit(num_inputs, num_keys, &recipe))
+}
+
+/// Solves the encoded circuit with pinned ports and compares each output
+/// against simulation.
+fn check_encoding(nl: &Netlist, ibits: &[bool], kbits: &[bool]) {
+    let mut sim = Simulator::new(nl).expect("acyclic");
+    let expected = sim.eval(ibits, kbits);
+
+    // Mode 1: fresh vars, values imposed with unit clauses.
+    let mut solver = Solver::new();
+    let enc = encode(&mut solver, nl, &Binding::fresh(nl)).expect("encode");
+    for (v, &b) in enc.inputs.iter().zip(ibits) {
+        assert_value(&mut solver, *v, b);
+    }
+    for (v, &b) in enc.keys.iter().zip(kbits) {
+        assert_value(&mut solver, *v, b);
+    }
+    assert_eq!(solver.solve(&[]), SolveResult::Sat);
+    for (o, v) in enc.outputs.iter().enumerate() {
+        let got = match v {
+            CnfValue::Lit(l) => solver.model_value(*l).expect("assigned"),
+            CnfValue::Const(b) => *b,
+        };
+        assert_eq!(got, expected[o], "fresh-binding output {o}");
+    }
+
+    // Mode 2: everything pinned — outputs must be constants.
+    let mut solver = Solver::new();
+    let binding = Binding {
+        inputs: ibits.iter().map(|&b| PortBinding::Pinned(b)).collect(),
+        keys: kbits.iter().map(|&b| PortBinding::Pinned(b)).collect(),
+    };
+    let enc = encode(&mut solver, nl, &binding).expect("encode");
+    for (o, v) in enc.outputs.iter().enumerate() {
+        assert_eq!(v.constant(), Some(expected[o]), "pinned-binding output {o}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn encodings_match_simulation(nl in arb_circuit(4, 2), pattern in 0u64..64) {
+        let ibits = bits_of(pattern & 0xF, 4);
+        let kbits = bits_of(pattern >> 4, 2);
+        check_encoding(&nl, &ibits, &kbits);
+    }
+
+    #[test]
+    fn key_variant_encoding_matches_full_encoding(nl in arb_circuit(3, 3), pattern in 0u64..64) {
+        // encode_key_variant with pinned keys must give the same outputs as
+        // a full encoding with the same pinned keys, for all inputs.
+        let kbits = bits_of(pattern >> 3, 3);
+        let ibits = bits_of(pattern & 0x7, 3);
+        let mut sim = Simulator::new(&nl).expect("acyclic");
+        let expected = sim.eval(&ibits, &kbits);
+
+        let mut solver = Solver::new();
+        let base = encode(&mut solver, &nl, &Binding::fresh(&nl)).expect("encode");
+        let variant = encode_key_variant(
+            &mut solver,
+            &nl,
+            &base,
+            &kbits.iter().map(|&b| PortBinding::Pinned(b)).collect::<Vec<_>>(),
+        ).expect("variant");
+        // Pin the (shared) inputs.
+        for (v, &b) in base.inputs.iter().zip(&ibits) {
+            assert_value(&mut solver, *v, b);
+        }
+        prop_assert_eq!(solver.solve(&[]), SolveResult::Sat);
+        for (o, v) in variant.outputs.iter().enumerate() {
+            let got = match v {
+                CnfValue::Lit(l) => solver.model_value(*l).expect("assigned"),
+                CnfValue::Const(b) => *b,
+            };
+            prop_assert_eq!(got, expected[o], "variant output {}", o);
+        }
+    }
+
+    #[test]
+    fn self_miter_is_unsat_for_keyless(nl in arb_circuit(5, 0)) {
+        // A circuit mitered against itself can never differ.
+        let mut solver = Solver::new();
+        let miter = build_miter(&mut solver, &nl, &nl).expect("miter");
+        prop_assert_eq!(solver.solve(&[miter.diff]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn miter_agrees_with_exhaustive_difference(a in arb_circuit(4, 0), b in arb_circuit(4, 0)) {
+        // For keyless same-interface circuits, the miter is satisfiable
+        // exactly when the functions differ somewhere.
+        prop_assume!(a.outputs().len() == b.outputs().len());
+        let mut sa = Simulator::new(&a).expect("acyclic");
+        let mut sb = Simulator::new(&b).expect("acyclic");
+        let differs = (0..16u64).any(|v| {
+            let bits = bits_of(v, 4);
+            sa.eval(&bits, &[]) != sb.eval(&bits, &[])
+        });
+        let mut solver = Solver::new();
+        let miter = build_miter(&mut solver, &a, &b).expect("miter");
+        let sat = solver.solve(&[miter.diff]) == SolveResult::Sat;
+        prop_assert_eq!(sat, differs);
+        // And check_equivalence must agree too.
+        let equiv = check_equivalence(&a, &b).expect("equiv");
+        prop_assert_eq!(equiv == EquivResult::Equivalent, !differs);
+    }
+
+    #[test]
+    fn counterexamples_are_genuine(a in arb_circuit(4, 0), b in arb_circuit(4, 0)) {
+        prop_assume!(a.outputs().len() == b.outputs().len());
+        if let EquivResult::Inequivalent { counterexample } =
+            check_equivalence(&a, &b).expect("equiv")
+        {
+            let mut sa = Simulator::new(&a).expect("acyclic");
+            let mut sb = Simulator::new(&b).expect("acyclic");
+            prop_assert_ne!(
+                sa.eval(&counterexample, &[]),
+                sb.eval(&counterexample, &[])
+            );
+        }
+    }
+}

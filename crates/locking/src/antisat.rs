@@ -1,0 +1,172 @@
+//! Anti-SAT: complementary-block locking (Xie & Srivastava, CHES'16).
+//!
+//! Two complementary functions `g(X ⊕ K_A)` and `¬g(X ⊕ K_B)` are ANDed;
+//! when `K_A = K_B` the AND is constantly 0 and the design is unlocked, so
+//! the scheme has `2^n` functionally correct keys out of `2^{2n}` — a
+//! natural stress test for key *verification* logic, since recovered keys
+//! need not match the nominally "correct" one bit-for-bit.
+
+use rand::Rng;
+
+use polykey_netlist::{GateKind, Netlist, NodeId};
+
+use crate::common::{key_name, require_unlocked, Key, LockError, LockedCircuit};
+
+/// Configuration for [`lock_antisat`].
+#[derive(Clone, Debug)]
+pub struct AntisatConfig {
+    /// Number of circuit inputs wired into each block (`n`); the total key
+    /// width is `2n`.
+    pub n: usize,
+    /// Index of the output to corrupt; defaults to the first output.
+    pub target_output: Option<usize>,
+}
+
+impl AntisatConfig {
+    /// A default configuration over `n` inputs (key width `2n`).
+    pub fn new(n: usize) -> AntisatConfig {
+        AntisatConfig { n, target_output: None }
+    }
+}
+
+/// Locks `netlist` with Anti-SAT using a random (equal-halves) correct key.
+///
+/// The returned key has `K_A = K_B`, which is one of the `2^n` correct keys.
+///
+/// # Errors
+///
+/// - [`LockError::AlreadyLocked`] if the netlist already has key inputs.
+/// - [`LockError::KeyTooWide`] if `n` exceeds the input count.
+/// - [`LockError::TooSmall`] for netlists without outputs or with `n = 0`.
+pub fn lock_antisat<R: Rng>(
+    netlist: &Netlist,
+    config: &AntisatConfig,
+    rng: &mut R,
+) -> Result<LockedCircuit, LockError> {
+    require_unlocked(netlist)?;
+    let n = config.n;
+    if n == 0 {
+        return Err(LockError::TooSmall { what: "a non-zero block width" });
+    }
+    if n > netlist.inputs().len() {
+        return Err(LockError::KeyTooWide { requested: n, available: netlist.inputs().len() });
+    }
+    if netlist.outputs().is_empty() {
+        return Err(LockError::TooSmall { what: "at least one output" });
+    }
+    let target_output = config.target_output.unwrap_or(0);
+    if target_output >= netlist.outputs().len() {
+        return Err(LockError::TooSmall { what: "a valid target output index" });
+    }
+
+    let mut locked = netlist.clone();
+    locked.set_name(format!("{}_antisat{}", netlist.name(), 2 * n));
+
+    let keys: Vec<NodeId> = (0..2 * n)
+        .map(|i| {
+            let name = key_name(&locked, i);
+            locked.add_key_input(name)
+        })
+        .collect::<Result<_, _>>()?;
+    let (keys_a, keys_b) = keys.split_at(n);
+
+    // Block A: g = AND_i (x_i ⊕ ka_i); block B: ¬g over kb.
+    let taps: Vec<NodeId> = locked.inputs()[..n].to_vec();
+    let mut xa = Vec::with_capacity(n);
+    let mut xb = Vec::with_capacity(n);
+    for i in 0..n {
+        xa.push(locked.add_gate(format!("as_xa{i}"), GateKind::Xor, &[taps[i], keys_a[i]])?);
+        xb.push(locked.add_gate(format!("as_xb{i}"), GateKind::Xor, &[taps[i], keys_b[i]])?);
+    }
+    let ga = locked.add_gate("as_ga", GateKind::And, &xa)?;
+    let gb = locked.add_gate("as_gb", GateKind::Nand, &xb)?;
+    let flip = locked.add_gate("as_flip", GateKind::And, &[ga, gb])?;
+
+    let out_node = locked.outputs()[target_output];
+    locked.insert_after(out_node, "as_out", GateKind::Xor, &[flip])?;
+
+    // Any K_A = K_B is correct; return a random such key.
+    let half = Key::random(n, rng);
+    let key = half.concat(&half);
+    Ok(LockedCircuit { netlist: locked, key })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polykey_netlist::{bits_of, Simulator};
+    use rand::SeedableRng;
+
+    fn parity4() -> Netlist {
+        let mut nl = Netlist::new("par4");
+        let ins: Vec<NodeId> =
+            (0..4).map(|i| nl.add_input(format!("x{i}")).unwrap()).collect();
+        let y = nl.add_gate("y", GateKind::Xor, &ins).unwrap();
+        nl.mark_output(y).unwrap();
+        nl
+    }
+
+    #[test]
+    fn equal_halves_unlock() {
+        let nl = parity4();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let locked = lock_antisat(&nl, &AntisatConfig::new(3), &mut rng).unwrap();
+        assert_eq!(locked.netlist.key_inputs().len(), 6);
+
+        let mut orig = Simulator::new(&nl).unwrap();
+        let mut lsim = Simulator::new(&locked.netlist).unwrap();
+        // The returned key and *every* equal-halves key unlock.
+        for half in 0..8u64 {
+            let mut key = bits_of(half, 3);
+            key.extend(bits_of(half, 3));
+            for v in 0..16u64 {
+                let bits = bits_of(v, 4);
+                assert_eq!(lsim.eval(&bits, &key), orig.eval(&bits, &[]), "half {half:03b}");
+            }
+        }
+        for v in 0..16u64 {
+            let bits = bits_of(v, 4);
+            assert_eq!(lsim.eval(&bits, locked.key.bits()), orig.eval(&bits, &[]));
+        }
+    }
+
+    #[test]
+    fn unequal_halves_corrupt_somewhere() {
+        let nl = parity4();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let locked = lock_antisat(&nl, &AntisatConfig::new(3), &mut rng).unwrap();
+        let mut orig = Simulator::new(&nl).unwrap();
+        let mut lsim = Simulator::new(&locked.netlist).unwrap();
+        // K_A = 000, K_B = 111: g(X) ∧ ¬g'(X) fires for some X.
+        let key = vec![false, false, false, true, true, true];
+        let corrupts = (0..16u64).any(|v| {
+            let bits = bits_of(v, 4);
+            lsim.eval(&bits, &key) != orig.eval(&bits, &[])
+        });
+        assert!(corrupts);
+    }
+
+    #[test]
+    fn width_checks() {
+        let nl = parity4();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert!(matches!(
+            lock_antisat(&nl, &AntisatConfig::new(9), &mut rng),
+            Err(LockError::KeyTooWide { .. })
+        ));
+        assert!(matches!(
+            lock_antisat(&nl, &AntisatConfig::new(0), &mut rng),
+            Err(LockError::TooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn structure_validates() {
+        let nl = parity4();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let locked = lock_antisat(&nl, &AntisatConfig::new(4), &mut rng).unwrap();
+        locked.netlist.validate().unwrap();
+        // 2n Xor + And + Nand + flip And + output Xor.
+        assert_eq!(locked.netlist.num_gates(), nl.num_gates() + 2 * 4 + 4);
+    }
+}

@@ -1,0 +1,231 @@
+//! Key material and shared locking-scheme plumbing.
+
+use std::fmt;
+
+use rand::{Rng, RngExt};
+
+use polykey_netlist::{Netlist, NetlistError};
+
+/// A key: one boolean per key input, in key-input declaration order.
+///
+/// # Examples
+///
+/// ```
+/// use polykey_locking::Key;
+///
+/// let k = Key::from_u64(0b101, 3);
+/// assert_eq!(k.len(), 3);
+/// assert!(k.bit(0) && !k.bit(1) && k.bit(2));
+/// assert_eq!(k.to_string(), "101");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Key {
+    bits: Vec<bool>,
+}
+
+impl Key {
+    /// Creates a key from explicit bits (index 0 = first key input).
+    pub fn new(bits: Vec<bool>) -> Key {
+        Key { bits }
+    }
+
+    /// Creates a key from the low `len` bits of `value` (bit `i` of the
+    /// integer becomes key bit `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64`.
+    pub fn from_u64(value: u64, len: usize) -> Key {
+        assert!(len <= 64);
+        Key { bits: (0..len).map(|i| value >> i & 1 == 1).collect() }
+    }
+
+    /// Samples a uniformly random key of the given width.
+    pub fn random<R: Rng>(len: usize, rng: &mut R) -> Key {
+        Key { bits: (0..len).map(|_| rng.random_bool(0.5)).collect() }
+    }
+
+    /// The key width in bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True for the zero-width key.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The value of bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bit(&self, i: usize) -> bool {
+        self.bits[i]
+    }
+
+    /// The bits as a slice (index 0 = first key input).
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// The key as an integer, if it fits in 64 bits.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.bits.len() > 64 {
+            return None;
+        }
+        Some(self.bits.iter().enumerate().fold(0, |acc, (i, &b)| acc | (u64::from(b) << i)))
+    }
+
+    /// Concatenates two keys (`self` bits first).
+    pub fn concat(&self, other: &Key) -> Key {
+        let mut bits = self.bits.clone();
+        bits.extend_from_slice(&other.bits);
+        Key { bits }
+    }
+}
+
+impl fmt::Display for Key {
+    /// Bit 0 first (matching key-input declaration order).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.bits {
+            write!(f, "{}", u8::from(b))?;
+        }
+        Ok(())
+    }
+}
+
+impl From<Vec<bool>> for Key {
+    fn from(bits: Vec<bool>) -> Key {
+        Key { bits }
+    }
+}
+
+/// A locked netlist together with its correct key.
+#[derive(Clone, Debug)]
+pub struct LockedCircuit {
+    /// The locked netlist: the original plus key inputs and key logic.
+    pub netlist: Netlist,
+    /// The correct key (one of possibly several functionally correct keys).
+    pub key: Key,
+}
+
+/// Errors raised by locking schemes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockError {
+    /// The input netlist already carries key inputs; schemes lock pristine
+    /// netlists (stacking is out of scope).
+    AlreadyLocked {
+        /// The design name.
+        name: String,
+    },
+    /// The requested key width cannot be realized on this netlist.
+    KeyTooWide {
+        /// Requested width.
+        requested: usize,
+        /// Available capacity (meaning depends on the scheme).
+        available: usize,
+    },
+    /// The netlist is too small for the scheme's structural needs.
+    TooSmall {
+        /// What was missing.
+        what: &'static str,
+    },
+    /// Structural failure while editing the netlist.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::AlreadyLocked { name } => {
+                write!(f, "netlist `{name}` already has key inputs")
+            }
+            LockError::KeyTooWide { requested, available } => {
+                write!(f, "key width {requested} exceeds capacity {available}")
+            }
+            LockError::TooSmall { what } => write!(f, "netlist too small: needs {what}"),
+            LockError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LockError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for LockError {
+    fn from(e: NetlistError) -> LockError {
+        LockError::Netlist(e)
+    }
+}
+
+/// Rejects netlists that already have key inputs.
+pub(crate) fn require_unlocked(netlist: &Netlist) -> Result<(), LockError> {
+    if netlist.key_inputs().is_empty() {
+        Ok(())
+    } else {
+        Err(LockError::AlreadyLocked { name: netlist.name().to_string() })
+    }
+}
+
+/// The next available `keyinput{i}` name.
+pub(crate) fn key_name(netlist: &Netlist, index: usize) -> String {
+    let mut i = index;
+    loop {
+        let name = format!("keyinput{i}");
+        if netlist.find(&name).is_none() {
+            return name;
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn key_round_trips() {
+        let k = Key::from_u64(0b1101, 4);
+        assert_eq!(k.to_u64(), Some(0b1101));
+        assert_eq!(k.bits(), &[true, false, true, true]);
+        assert_eq!(k.to_string(), "1011", "display is bit0-first");
+        assert_eq!(Key::new(vec![true, false]).len(), 2);
+    }
+
+    #[test]
+    fn key_concat() {
+        let a = Key::from_u64(0b01, 2);
+        let b = Key::from_u64(0b1, 1);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.to_u64(), Some(0b101));
+    }
+
+    #[test]
+    fn random_keys_are_deterministic_per_seed() {
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(1);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(Key::random(32, &mut r1), Key::random(32, &mut r2));
+    }
+
+    #[test]
+    fn empty_key() {
+        let k = Key::default();
+        assert!(k.is_empty());
+        assert_eq!(k.to_u64(), Some(0));
+    }
+
+    #[test]
+    fn oversized_key_has_no_u64() {
+        let k = Key::new(vec![false; 65]);
+        assert_eq!(k.to_u64(), None);
+    }
+}

@@ -1,0 +1,58 @@
+//! # polykey-locking: logic locking schemes
+//!
+//! The four locking techniques the paper's evaluation touches:
+//!
+//! - [`lock_rll`] — random XOR/XNOR key-gate insertion (EPIC-style), the
+//!   baseline every oracle-guided attack breaks quickly;
+//! - [`lock_sarlock`] — SARLock point-function locking (Table 1 and the
+//!   Fig. 1(a) error distribution);
+//! - [`lock_antisat`] — Anti-SAT complementary blocks, a scheme whose
+//!   correct keys are non-unique by design;
+//! - [`lock_lut`] — two-stage LUT insertion (Table 2), which bloats the
+//!   SAT attack's miter instead of its iteration count.
+//!
+//! Every scheme takes a pristine netlist plus an RNG, adds `keyinput{i}`
+//! ports, and returns a [`LockedCircuit`]: the locked netlist together with
+//! a correct [`Key`]. Locking is functionally invisible under the correct
+//! key — a property the test suites verify exhaustively on small circuits.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use polykey_netlist::{GateKind, Netlist, Simulator};
+//! use polykey_locking::{lock_sarlock, SarlockConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut nl = Netlist::new("toy");
+//! let a = nl.add_input("a")?;
+//! let b = nl.add_input("b")?;
+//! let y = nl.add_gate("y", GateKind::And, &[a, b])?;
+//! nl.mark_output(y)?;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let locked = lock_sarlock(&nl, &SarlockConfig::new(2), &mut rng)?;
+//! assert_eq!(locked.netlist.key_inputs().len(), 2);
+//!
+//! // The correct key restores the original function.
+//! let mut sim = Simulator::new(&locked.netlist)?;
+//! assert_eq!(sim.eval(&[true, true], locked.key.bits()), vec![true]);
+//! assert_eq!(sim.eval(&[true, false], locked.key.bits()), vec![false]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod antisat;
+mod common;
+mod lut;
+mod rll;
+mod sarlock;
+
+pub use antisat::{lock_antisat, AntisatConfig};
+pub use common::{Key, LockError, LockedCircuit};
+pub use lut::{lock_lut, LutConfig};
+pub use rll::lock_rll;
+pub use sarlock::{lock_sarlock, lock_sarlock_on_signals, lock_sarlock_with_key, SarlockConfig};

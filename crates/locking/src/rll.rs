@@ -1,0 +1,183 @@
+//! Random logic locking (RLL): XOR/XNOR key-gate insertion.
+//!
+//! The original EPIC-style scheme: pick random wires and splice a key gate
+//! into each. An XOR key gate is transparent when its key bit is 0, an XNOR
+//! key gate when its key bit is 1, so the inserted polarity hides the
+//! correct key value from casual inspection.
+
+use rand::{Rng, RngExt};
+
+use polykey_netlist::{GateKind, Netlist, NodeId};
+
+use crate::common::{key_name, require_unlocked, Key, LockError, LockedCircuit};
+
+/// Locks `netlist` by inserting `key_bits` XOR/XNOR key gates after random
+/// internal gates.
+///
+/// # Errors
+///
+/// - [`LockError::AlreadyLocked`] if the netlist already has key inputs.
+/// - [`LockError::KeyTooWide`] if there are fewer internal gates than
+///   requested key bits.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use polykey_netlist::{GateKind, Netlist};
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a")?;
+/// let b = nl.add_input("b")?;
+/// let g = nl.add_gate("g", GateKind::And, &[a, b])?;
+/// nl.mark_output(g)?;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let locked = polykey_locking::lock_rll(&nl, 1, &mut rng)?;
+/// assert_eq!(locked.netlist.key_inputs().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn lock_rll<R: Rng>(
+    netlist: &Netlist,
+    key_bits: usize,
+    rng: &mut R,
+) -> Result<LockedCircuit, LockError> {
+    require_unlocked(netlist)?;
+    // Candidate wires: outputs of real gates (not inputs, not constants).
+    let candidates: Vec<NodeId> = netlist
+        .node_ids()
+        .filter(|&id| {
+            let kind = netlist.node(id).kind();
+            !kind.is_input() && !matches!(kind, GateKind::Const(_))
+        })
+        .collect();
+    if candidates.len() < key_bits {
+        return Err(LockError::KeyTooWide {
+            requested: key_bits,
+            available: candidates.len(),
+        });
+    }
+
+    // Sample distinct targets (partial Fisher–Yates).
+    let mut pool = candidates;
+    let mut targets = Vec::with_capacity(key_bits);
+    for _ in 0..key_bits {
+        let i = rng.random_range(0..pool.len());
+        targets.push(pool.swap_remove(i));
+    }
+
+    let mut locked = netlist.clone();
+    locked.set_name(format!("{}_rll{}", netlist.name(), key_bits));
+    let mut key_values = Vec::with_capacity(key_bits);
+    for (i, &target) in targets.iter().enumerate() {
+        let use_xnor = rng.random_bool(0.5);
+        let kname = key_name(&locked, i);
+        let k = locked.add_key_input(kname)?;
+        let gate_kind = if use_xnor { GateKind::Xnor } else { GateKind::Xor };
+        let gname = format!("rll_{}_{}", if use_xnor { "xnor" } else { "xor" }, i);
+        locked.insert_after(target, gname, gate_kind, &[k])?;
+        // Xor(x, 0) = x and Xnor(x, 1) = x: transparent key values.
+        key_values.push(use_xnor);
+    }
+    Ok(LockedCircuit { netlist: locked, key: Key::new(key_values) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polykey_netlist::{bits_of, Simulator};
+    use rand::SeedableRng;
+
+    fn sample() -> Netlist {
+        let mut nl = Netlist::new("s");
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let c = nl.add_input("c").unwrap();
+        let g1 = nl.add_gate("g1", GateKind::And, &[a, b]).unwrap();
+        let g2 = nl.add_gate("g2", GateKind::Or, &[g1, c]).unwrap();
+        let g3 = nl.add_gate("g3", GateKind::Xor, &[g1, g2]).unwrap();
+        let g4 = nl.add_gate("g4", GateKind::Nand, &[g2, g3]).unwrap();
+        nl.mark_output(g4).unwrap();
+        nl
+    }
+
+    #[test]
+    fn correct_key_restores_function() {
+        let nl = sample();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let locked = lock_rll(&nl, 3, &mut rng).unwrap();
+        assert_eq!(locked.netlist.key_inputs().len(), 3);
+        assert_eq!(locked.netlist.inputs().len(), 3);
+
+        let mut orig = Simulator::new(&nl).unwrap();
+        let mut lsim = Simulator::new(&locked.netlist).unwrap();
+        for v in 0..8u64 {
+            let bits = bits_of(v, 3);
+            assert_eq!(
+                lsim.eval(&bits, locked.key.bits()),
+                orig.eval(&bits, &[]),
+                "correct key must unlock, pattern {v:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn some_wrong_key_corrupts() {
+        let nl = sample();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let locked = lock_rll(&nl, 3, &mut rng).unwrap();
+        // Flipping one key bit of an XOR/XNOR chain must change the function
+        // somewhere (the key gate sits on a live wire).
+        let mut wrong = locked.key.bits().to_vec();
+        wrong[0] = !wrong[0];
+        let mut orig = Simulator::new(&nl).unwrap();
+        let mut lsim = Simulator::new(&locked.netlist).unwrap();
+        let corrupts = (0..8u64).any(|v| {
+            let bits = bits_of(v, 3);
+            lsim.eval(&bits, &wrong) != orig.eval(&bits, &[])
+        });
+        assert!(corrupts, "flipped key bit must corrupt at least one pattern");
+    }
+
+    #[test]
+    fn too_many_key_bits_rejected() {
+        let nl = sample();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert!(matches!(
+            lock_rll(&nl, 100, &mut rng),
+            Err(LockError::KeyTooWide { available: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn relocking_rejected() {
+        let nl = sample();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let once = lock_rll(&nl, 2, &mut rng).unwrap();
+        assert!(matches!(
+            lock_rll(&once.netlist, 1, &mut rng),
+            Err(LockError::AlreadyLocked { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let nl = sample();
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(5);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(5);
+        let l1 = lock_rll(&nl, 2, &mut r1).unwrap();
+        let l2 = lock_rll(&nl, 2, &mut r2).unwrap();
+        assert_eq!(l1.key, l2.key);
+        assert_eq!(l1.netlist.num_nodes(), l2.netlist.num_nodes());
+    }
+
+    #[test]
+    fn locked_netlist_validates() {
+        let nl = sample();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let locked = lock_rll(&nl, 4, &mut rng).unwrap();
+        locked.netlist.validate().unwrap();
+        assert_eq!(locked.netlist.num_gates(), nl.num_gates() + 4);
+    }
+}

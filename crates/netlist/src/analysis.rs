@@ -1,0 +1,269 @@
+//! Structural analysis: cones, levels, and netlist statistics.
+//!
+//! The multi-key attack's split-port selection (fan-out cone analysis, §4 of
+//! the paper) is built from these primitives: it ranks primary inputs by how
+//! many *key-controlled* gates lie in their transitive fanout.
+
+use std::collections::HashMap;
+
+use crate::gate::GateKind;
+use crate::netlist::{Netlist, NetlistError, NodeId};
+
+/// Computes the transitive-fanout membership mask of a seed set: entry `i`
+/// is true iff node `i` is one of the seeds or reachable from them through
+/// fanout edges.
+pub fn transitive_fanout(netlist: &Netlist, seeds: &[NodeId]) -> Vec<bool> {
+    let fanouts = netlist.fanout_adjacency();
+    let mut mask = vec![false; netlist.num_nodes()];
+    let mut stack: Vec<NodeId> = Vec::new();
+    for &s in seeds {
+        if !mask[s.index()] {
+            mask[s.index()] = true;
+            stack.push(s);
+        }
+    }
+    while let Some(id) = stack.pop() {
+        for &out in &fanouts[id.index()] {
+            if !mask[out.index()] {
+                mask[out.index()] = true;
+                stack.push(out);
+            }
+        }
+    }
+    mask
+}
+
+/// Computes the transitive-fanin membership mask of a seed set (the cone of
+/// influence): entry `i` is true iff node `i` is a seed or feeds one.
+pub fn transitive_fanin(netlist: &Netlist, seeds: &[NodeId]) -> Vec<bool> {
+    let mut mask = vec![false; netlist.num_nodes()];
+    let mut stack: Vec<NodeId> = Vec::new();
+    for &s in seeds {
+        if !mask[s.index()] {
+            mask[s.index()] = true;
+            stack.push(s);
+        }
+    }
+    while let Some(id) = stack.pop() {
+        for &f in netlist.node(id).fanins() {
+            if !mask[f.index()] {
+                mask[f.index()] = true;
+                stack.push(f);
+            }
+        }
+    }
+    mask
+}
+
+/// The mask of key-controlled nodes: everything in the transitive fanout of
+/// any key input.
+pub fn key_controlled_mask(netlist: &Netlist) -> Vec<bool> {
+    transitive_fanout(netlist, netlist.key_inputs())
+}
+
+/// For every primary input, the number of key-controlled *gates* in its
+/// transitive fanout cone — the ranking metric of the paper's fan-out cone
+/// analysis. Returns `(input, count)` pairs in input declaration order.
+pub fn key_cone_influence(netlist: &Netlist) -> Vec<(NodeId, usize)> {
+    let key_mask = key_controlled_mask(netlist);
+    netlist
+        .inputs()
+        .iter()
+        .map(|&pi| {
+            let cone = transitive_fanout(netlist, &[pi]);
+            let count = netlist
+                .node_ids()
+                .filter(|&id| {
+                    cone[id.index()]
+                        && key_mask[id.index()]
+                        && !netlist.node(id).kind().is_input()
+                })
+                .count();
+            (pi, count)
+        })
+        .collect()
+}
+
+/// Computes each node's logic level: inputs and constants at level 0, every
+/// gate one above its deepest fanin.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Cycle`] for cyclic netlists.
+pub fn levels(netlist: &Netlist) -> Result<Vec<u32>, NetlistError> {
+    let order = netlist.topological_order()?;
+    let mut level = vec![0u32; netlist.num_nodes()];
+    for id in order {
+        let node = netlist.node(id);
+        if !node.fanins().is_empty() {
+            level[id.index()] =
+                1 + node.fanins().iter().map(|f| level[f.index()]).max().expect("non-empty");
+        }
+    }
+    Ok(level)
+}
+
+/// The combinational depth: the maximum level over all outputs.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Cycle`] for cyclic netlists.
+pub fn depth(netlist: &Netlist) -> Result<u32, NetlistError> {
+    let level = levels(netlist)?;
+    Ok(netlist.outputs().iter().map(|o| level[o.index()]).max().unwrap_or(0))
+}
+
+/// Summary statistics of a netlist.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of key inputs.
+    pub key_inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of logic gates (excluding inputs and constants).
+    pub gates: usize,
+    /// Combinational depth.
+    pub depth: u32,
+    /// Gate counts per kind (display name → count).
+    pub gates_by_kind: HashMap<&'static str, usize>,
+}
+
+impl NetlistStats {
+    /// Gathers statistics for a netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Cycle`] for cyclic netlists.
+    pub fn of(netlist: &Netlist) -> Result<NetlistStats, NetlistError> {
+        let mut gates_by_kind: HashMap<&'static str, usize> = HashMap::new();
+        for id in netlist.node_ids() {
+            let kind = netlist.node(id).kind();
+            if let Some(name) = kind.bench_name() {
+                if !matches!(kind, GateKind::Const(_)) {
+                    *gates_by_kind.entry(name).or_insert(0) += 1;
+                }
+            }
+        }
+        Ok(NetlistStats {
+            inputs: netlist.inputs().len(),
+            key_inputs: netlist.key_inputs().len(),
+            outputs: netlist.outputs().len(),
+            gates: netlist.num_gates(),
+            depth: depth(netlist)?,
+            gates_by_kind,
+        })
+    }
+}
+
+impl std::fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} PI, {} key, {} PO, {} gates, depth {}",
+            self.inputs, self.key_inputs, self.outputs, self.gates, self.depth
+        )?;
+        let mut kinds: Vec<_> = self.gates_by_kind.iter().collect();
+        kinds.sort();
+        for (name, count) in kinds {
+            write!(f, ", {name}:{count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+
+    /// a ──┐
+    ///     AND ── NOT ── out
+    /// b ──┘
+    /// k ──XOR(out of cone of a? no: XOR reads the AND)
+    fn sample() -> (Netlist, NodeId, NodeId, NodeId, NodeId, NodeId) {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let k = nl.add_key_input("k").unwrap();
+        let g = nl.add_gate("g", GateKind::And, &[a, b]).unwrap();
+        let x = nl.add_gate("x", GateKind::Xor, &[g, k]).unwrap();
+        let y = nl.add_gate("y", GateKind::Not, &[x]).unwrap();
+        nl.mark_output(y).unwrap();
+        (nl, a, b, k, g, y)
+    }
+
+    #[test]
+    fn fanout_cone_membership() {
+        let (nl, a, _b, _k, g, y) = sample();
+        let mask = transitive_fanout(&nl, &[a]);
+        assert!(mask[a.index()]);
+        assert!(mask[g.index()]);
+        assert!(mask[y.index()]);
+        let x = nl.find("x").unwrap();
+        assert!(mask[x.index()]);
+        let b = nl.find("b").unwrap();
+        assert!(!mask[b.index()], "sibling input not in cone");
+    }
+
+    #[test]
+    fn fanin_cone_membership() {
+        let (nl, a, b, k, _g, y) = sample();
+        let mask = transitive_fanin(&nl, &[y]);
+        for id in [a, b, k, y] {
+            assert!(mask[id.index()]);
+        }
+        // A dangling node is not in the output cone.
+        let mut nl2 = nl.clone();
+        let dangling = nl2.add_gate("dang", GateKind::Not, &[a]).unwrap();
+        let mask2 = transitive_fanin(&nl2, &[y]);
+        assert!(!mask2[dangling.index()]);
+    }
+
+    #[test]
+    fn key_mask_covers_downstream_only() {
+        let (nl, a, _b, k, g, y) = sample();
+        let mask = key_controlled_mask(&nl);
+        assert!(mask[k.index()]);
+        assert!(mask[y.index()]);
+        let x = nl.find("x").unwrap();
+        assert!(mask[x.index()]);
+        assert!(!mask[g.index()], "AND is upstream of the key gate");
+        assert!(!mask[a.index()]);
+    }
+
+    #[test]
+    fn influence_counts_key_controlled_gates() {
+        let (nl, a, b, _k, _g, _y) = sample();
+        let influence = key_cone_influence(&nl);
+        let by_id: HashMap<NodeId, usize> = influence.into_iter().collect();
+        // Both a and b reach x and y (2 key-controlled gates each).
+        assert_eq!(by_id[&a], 2);
+        assert_eq!(by_id[&b], 2);
+    }
+
+    #[test]
+    fn levels_and_depth() {
+        let (nl, a, _b, _k, g, y) = sample();
+        let lv = levels(&nl).unwrap();
+        assert_eq!(lv[a.index()], 0);
+        assert_eq!(lv[g.index()], 1);
+        assert_eq!(lv[y.index()], 3);
+        assert_eq!(depth(&nl).unwrap(), 3);
+    }
+
+    #[test]
+    fn stats_summary() {
+        let (nl, ..) = sample();
+        let stats = NetlistStats::of(&nl).unwrap();
+        assert_eq!(stats.inputs, 2);
+        assert_eq!(stats.key_inputs, 1);
+        assert_eq!(stats.gates, 3);
+        assert_eq!(stats.depth, 3);
+        assert_eq!(stats.gates_by_kind["AND"], 1);
+        let display = stats.to_string();
+        assert!(display.contains("2 PI"));
+        assert!(display.contains("AND:1"));
+    }
+}

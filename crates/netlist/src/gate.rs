@@ -1,0 +1,299 @@
+//! Gate types and their Boolean semantics.
+
+use std::fmt;
+
+/// The function computed by a netlist node.
+///
+/// `And`, `Nand`, `Or`, `Nor`, `Xor`, `Xnor` are n-ary (≥ 1 fanin; the
+/// 1-input forms degenerate to `Buf`/`Not`). `Xor`/`Xnor` over more than two
+/// fanins follow the ISCAS convention: parity and its complement.
+/// `Mux` has exactly three fanins `(sel, d0, d1)` and selects `d1` when
+/// `sel` is true.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum GateKind {
+    /// A primary input (no fanins).
+    Input,
+    /// A key input added by a locking scheme (no fanins).
+    KeyInput,
+    /// A constant driver.
+    Const(bool),
+    /// Identity (1 fanin).
+    Buf,
+    /// Negation (1 fanin).
+    Not,
+    /// Conjunction.
+    And,
+    /// Negated conjunction.
+    Nand,
+    /// Disjunction.
+    Or,
+    /// Negated disjunction.
+    Nor,
+    /// Parity.
+    Xor,
+    /// Negated parity.
+    Xnor,
+    /// 2:1 multiplexer `(sel, d0, d1)`.
+    Mux,
+}
+
+impl GateKind {
+    /// The required fanin count, or `None` for n-ary gates.
+    pub fn arity(self) -> Option<usize> {
+        match self {
+            GateKind::Input | GateKind::KeyInput | GateKind::Const(_) => Some(0),
+            GateKind::Buf | GateKind::Not => Some(1),
+            GateKind::Mux => Some(3),
+            GateKind::And
+            | GateKind::Nand
+            | GateKind::Or
+            | GateKind::Nor
+            | GateKind::Xor
+            | GateKind::Xnor => None,
+        }
+    }
+
+    /// True for the gates whose value does not depend on fanin order.
+    pub fn is_symmetric(self) -> bool {
+        matches!(
+            self,
+            GateKind::And
+                | GateKind::Nand
+                | GateKind::Or
+                | GateKind::Nor
+                | GateKind::Xor
+                | GateKind::Xnor
+        )
+    }
+
+    /// True for inputs (primary or key).
+    pub fn is_input(self) -> bool {
+        matches!(self, GateKind::Input | GateKind::KeyInput)
+    }
+
+    /// True for gates that invert their "core" function
+    /// (`Nand`/`Nor`/`Xnor`/`Not`).
+    pub fn is_inverting(self) -> bool {
+        matches!(self, GateKind::Nand | GateKind::Nor | GateKind::Xnor | GateKind::Not)
+    }
+
+    /// Evaluates the gate over boolean fanin values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length is inconsistent with [`GateKind::arity`],
+    /// or when evaluating an input (inputs have no local function).
+    pub fn eval(self, fanins: &[bool]) -> bool {
+        match self {
+            GateKind::Input | GateKind::KeyInput => {
+                panic!("inputs are not evaluated; supply their values externally")
+            }
+            GateKind::Const(v) => v,
+            GateKind::Buf => fanins[0],
+            GateKind::Not => !fanins[0],
+            GateKind::And => fanins.iter().all(|&b| b),
+            GateKind::Nand => !fanins.iter().all(|&b| b),
+            GateKind::Or => fanins.iter().any(|&b| b),
+            GateKind::Nor => !fanins.iter().any(|&b| b),
+            GateKind::Xor => fanins.iter().fold(false, |acc, &b| acc ^ b),
+            GateKind::Xnor => !fanins.iter().fold(false, |acc, &b| acc ^ b),
+            GateKind::Mux => {
+                if fanins[0] {
+                    fanins[2]
+                } else {
+                    fanins[1]
+                }
+            }
+        }
+    }
+
+    /// Evaluates the gate over 64 packed patterns at once (one per bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`GateKind::eval`].
+    pub fn eval_packed(self, fanins: &[u64]) -> u64 {
+        match self {
+            GateKind::Input | GateKind::KeyInput => {
+                panic!("inputs are not evaluated; supply their values externally")
+            }
+            GateKind::Const(v) => {
+                if v {
+                    u64::MAX
+                } else {
+                    0
+                }
+            }
+            GateKind::Buf => fanins[0],
+            GateKind::Not => !fanins[0],
+            GateKind::And => fanins.iter().fold(u64::MAX, |acc, &w| acc & w),
+            GateKind::Nand => !fanins.iter().fold(u64::MAX, |acc, &w| acc & w),
+            GateKind::Or => fanins.iter().fold(0, |acc, &w| acc | w),
+            GateKind::Nor => !fanins.iter().fold(0, |acc, &w| acc | w),
+            GateKind::Xor => fanins.iter().fold(0, |acc, &w| acc ^ w),
+            GateKind::Xnor => !fanins.iter().fold(0, |acc, &w| acc ^ w),
+            GateKind::Mux => (fanins[0] & fanins[2]) | (!fanins[0] & fanins[1]),
+        }
+    }
+
+    /// The `.bench` keyword for this gate, if it has one.
+    pub fn bench_name(self) -> Option<&'static str> {
+        match self {
+            GateKind::Buf => Some("BUF"),
+            GateKind::Not => Some("NOT"),
+            GateKind::And => Some("AND"),
+            GateKind::Nand => Some("NAND"),
+            GateKind::Or => Some("OR"),
+            GateKind::Nor => Some("NOR"),
+            GateKind::Xor => Some("XOR"),
+            GateKind::Xnor => Some("XNOR"),
+            GateKind::Mux => Some("MUX"),
+            GateKind::Const(false) => Some("CONST0"),
+            GateKind::Const(true) => Some("CONST1"),
+            GateKind::Input | GateKind::KeyInput => None,
+        }
+    }
+
+    /// Parses a `.bench` gate keyword (case-insensitive; `BUFF` accepted).
+    pub fn from_bench_name(name: &str) -> Option<GateKind> {
+        match name.to_ascii_uppercase().as_str() {
+            "BUF" | "BUFF" => Some(GateKind::Buf),
+            "NOT" | "INV" => Some(GateKind::Not),
+            "AND" => Some(GateKind::And),
+            "NAND" => Some(GateKind::Nand),
+            "OR" => Some(GateKind::Or),
+            "NOR" => Some(GateKind::Nor),
+            "XOR" => Some(GateKind::Xor),
+            "XNOR" => Some(GateKind::Xnor),
+            "MUX" => Some(GateKind::Mux),
+            "CONST0" | "GND" => Some(GateKind::Const(false)),
+            "CONST1" | "VDD" | "VCC" => Some(GateKind::Const(true)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateKind::Input => write!(f, "INPUT"),
+            GateKind::KeyInput => write!(f, "KEYINPUT"),
+            other => write!(f, "{}", other.bench_name().expect("non-input gates have names")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_tables_two_input() {
+        let cases = [
+            (GateKind::And, [false, false, false, true]),
+            (GateKind::Nand, [true, true, true, false]),
+            (GateKind::Or, [false, true, true, true]),
+            (GateKind::Nor, [true, false, false, false]),
+            (GateKind::Xor, [false, true, true, false]),
+            (GateKind::Xnor, [true, false, false, true]),
+        ];
+        for (kind, expected) in cases {
+            for (i, &want) in expected.iter().enumerate() {
+                let a = i & 1 == 1;
+                let b = i >> 1 & 1 == 1;
+                assert_eq!(kind.eval(&[a, b]), want, "{kind} ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn nary_semantics() {
+        assert!(GateKind::And.eval(&[true, true, true]));
+        assert!(!GateKind::And.eval(&[true, false, true]));
+        assert!(GateKind::Or.eval(&[false, false, true]));
+        // Parity of three ones is one.
+        assert!(GateKind::Xor.eval(&[true, true, true]));
+        assert!(!GateKind::Xor.eval(&[true, true, false]));
+        assert!(GateKind::Xnor.eval(&[true, true, false]));
+    }
+
+    #[test]
+    fn mux_selects() {
+        // (sel, d0, d1)
+        assert!(!GateKind::Mux.eval(&[false, false, true]));
+        assert!(GateKind::Mux.eval(&[true, false, true]));
+        assert!(GateKind::Mux.eval(&[false, true, false]));
+    }
+
+    #[test]
+    fn packed_matches_scalar() {
+        for kind in [
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ] {
+            for pattern in 0..16u64 {
+                let a = pattern & 1 == 1;
+                let b = pattern >> 1 & 1 == 1;
+                let c = pattern >> 2 & 1 == 1;
+                let scalar = kind.eval(&[a, b, c]);
+                let packed = kind.eval_packed(&[
+                    if a { u64::MAX } else { 0 },
+                    if b { u64::MAX } else { 0 },
+                    if c { u64::MAX } else { 0 },
+                ]);
+                assert_eq!(packed == u64::MAX, scalar, "{kind} {pattern:b}");
+                assert!(packed == u64::MAX || packed == 0);
+            }
+        }
+        // Mux packed.
+        for pattern in 0..8u64 {
+            let s = pattern & 1 == 1;
+            let d0 = pattern >> 1 & 1 == 1;
+            let d1 = pattern >> 2 & 1 == 1;
+            let scalar = GateKind::Mux.eval(&[s, d0, d1]);
+            let packed = GateKind::Mux.eval_packed(&[
+                if s { u64::MAX } else { 0 },
+                if d0 { u64::MAX } else { 0 },
+                if d1 { u64::MAX } else { 0 },
+            ]);
+            assert_eq!(packed == u64::MAX, scalar);
+        }
+    }
+
+    #[test]
+    fn bench_name_round_trip() {
+        for kind in [
+            GateKind::Buf,
+            GateKind::Not,
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+            GateKind::Mux,
+            GateKind::Const(false),
+            GateKind::Const(true),
+        ] {
+            let name = kind.bench_name().expect("named");
+            assert_eq!(GateKind::from_bench_name(name), Some(kind));
+        }
+        assert_eq!(GateKind::from_bench_name("buff"), Some(GateKind::Buf));
+        assert_eq!(GateKind::from_bench_name("DFF"), None);
+    }
+
+    #[test]
+    fn arity_constraints() {
+        assert_eq!(GateKind::Input.arity(), Some(0));
+        assert_eq!(GateKind::Not.arity(), Some(1));
+        assert_eq!(GateKind::Mux.arity(), Some(3));
+        assert_eq!(GateKind::And.arity(), None);
+        assert!(GateKind::Xor.is_symmetric());
+        assert!(!GateKind::Mux.is_symmetric());
+        assert!(GateKind::KeyInput.is_input());
+    }
+}

@@ -1,0 +1,730 @@
+//! The gate-level netlist: a named DAG of logic gates.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::gate::GateKind;
+
+/// Index of a node inside one [`Netlist`].
+///
+/// Ids are dense and creation-ordered; they are only meaningful with respect
+/// to the netlist that produced them.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The dense 0-based index of the node.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    pub(crate) fn from_index(i: usize) -> NodeId {
+        NodeId(i as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A single gate instance: its function and fanin list.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Node {
+    kind: GateKind,
+    fanins: Vec<NodeId>,
+}
+
+impl Node {
+    /// The gate function.
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// The fanin nodes, in argument order.
+    pub fn fanins(&self) -> &[NodeId] {
+        &self.fanins
+    }
+}
+
+/// Errors raised by netlist construction and structural queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A signal name was defined twice.
+    DuplicateName(String),
+    /// A referenced signal does not exist.
+    UnknownSignal(String),
+    /// A gate was built with the wrong number of fanins.
+    BadArity {
+        /// Name of the offending gate.
+        gate: String,
+        /// The gate function.
+        kind: GateKind,
+        /// Fanins required (fixed-arity gates) or minimum (n-ary).
+        expected: usize,
+        /// Fanins supplied.
+        got: usize,
+    },
+    /// A node id that does not belong to this netlist.
+    InvalidNode(u32),
+    /// The netlist contains a combinational cycle.
+    Cycle {
+        /// Name of a node on the cycle.
+        involving: String,
+    },
+    /// The operation requires an input node but was given something else.
+    NotAnInput {
+        /// Name of the node.
+        name: String,
+    },
+    /// Unsupported construct (e.g. sequential elements in a `.bench` file).
+    Unsupported(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateName(n) => write!(f, "duplicate signal name `{n}`"),
+            NetlistError::UnknownSignal(n) => write!(f, "unknown signal `{n}`"),
+            NetlistError::BadArity { gate, kind, expected, got } => write!(
+                f,
+                "gate `{gate}` of type {kind} expects {expected} fanin(s), got {got}"
+            ),
+            NetlistError::InvalidNode(i) => write!(f, "node id {i} is out of range"),
+            NetlistError::Cycle { involving } => {
+                write!(f, "combinational cycle involving `{involving}`")
+            }
+            NetlistError::NotAnInput { name } => write!(f, "node `{name}` is not an input"),
+            NetlistError::Unsupported(what) => write!(f, "unsupported construct: {what}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+/// A combinational gate-level netlist.
+///
+/// Nodes are created in topological-friendly order through the public API
+/// (fanins must already exist), carry unique names, and are classified into
+/// primary inputs, key inputs (added by locking schemes) and internal gates.
+/// Any node can be marked as a primary output.
+///
+/// # Examples
+///
+/// Build a half adder and simulate it:
+///
+/// ```
+/// use polykey_netlist::{GateKind, Netlist, Simulator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut nl = Netlist::new("half_adder");
+/// let a = nl.add_input("a")?;
+/// let b = nl.add_input("b")?;
+/// let sum = nl.add_gate("sum", GateKind::Xor, &[a, b])?;
+/// let carry = nl.add_gate("carry", GateKind::And, &[a, b])?;
+/// nl.mark_output(sum)?;
+/// nl.mark_output(carry)?;
+///
+/// let mut sim = Simulator::new(&nl)?;
+/// assert_eq!(sim.eval(&[true, true], &[]), vec![false, true]);
+/// assert_eq!(sim.eval(&[true, false], &[]), vec![true, false]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Netlist {
+    name: String,
+    nodes: Vec<Node>,
+    names: Vec<String>,
+    name_to_node: HashMap<String, NodeId>,
+    primary_inputs: Vec<NodeId>,
+    key_inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the given design name.
+    pub fn new(name: impl Into<String>) -> Netlist {
+        Netlist {
+            name: name.into(),
+            nodes: Vec::new(),
+            names: Vec::new(),
+            name_to_node: HashMap::new(),
+            primary_inputs: Vec::new(),
+            key_inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the design.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Total number of nodes (inputs, constants and gates).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of logic gates (excluding inputs and constants).
+    pub fn num_gates(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| !n.kind.is_input() && !matches!(n.kind, GateKind::Const(_)))
+            .count()
+    }
+
+    /// The primary inputs, in declaration order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.primary_inputs
+    }
+
+    /// The key inputs, in declaration order.
+    pub fn key_inputs(&self) -> &[NodeId] {
+        &self.key_inputs
+    }
+
+    /// The primary outputs, in declaration order.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The unique signal name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Looks a node up by signal name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.name_to_node.get(name).copied()
+    }
+
+    /// Iterates over all node ids in creation order.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    fn check_fresh_name(&self, name: &str) -> Result<(), NetlistError> {
+        if self.name_to_node.contains_key(name) {
+            Err(NetlistError::DuplicateName(name.to_string()))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn push_node(&mut self, name: String, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.name_to_node.insert(name.clone(), id);
+        self.names.push(name);
+        self.nodes.push(node);
+        id
+    }
+
+    /// Adds a primary input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name is taken.
+    pub fn add_input(&mut self, name: impl Into<String>) -> Result<NodeId, NetlistError> {
+        let name = name.into();
+        self.check_fresh_name(&name)?;
+        let id = self.push_node(name, Node { kind: GateKind::Input, fanins: Vec::new() });
+        self.primary_inputs.push(id);
+        Ok(id)
+    }
+
+    /// Adds a key input (the extra ports introduced by logic locking).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name is taken.
+    pub fn add_key_input(&mut self, name: impl Into<String>) -> Result<NodeId, NetlistError> {
+        let name = name.into();
+        self.check_fresh_name(&name)?;
+        let id = self.push_node(name, Node { kind: GateKind::KeyInput, fanins: Vec::new() });
+        self.key_inputs.push(id);
+        Ok(id)
+    }
+
+    /// Adds a constant driver node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name is taken.
+    pub fn add_const(
+        &mut self,
+        name: impl Into<String>,
+        value: bool,
+    ) -> Result<NodeId, NetlistError> {
+        let name = name.into();
+        self.check_fresh_name(&name)?;
+        Ok(self.push_node(name, Node { kind: GateKind::Const(value), fanins: Vec::new() }))
+    }
+
+    /// Adds a gate whose fanins must already exist.
+    ///
+    /// # Errors
+    ///
+    /// - [`NetlistError::DuplicateName`] if the name is taken.
+    /// - [`NetlistError::BadArity`] if the fanin count is invalid for `kind`
+    ///   (n-ary gates need at least one fanin).
+    /// - [`NetlistError::InvalidNode`] if a fanin id is out of range.
+    pub fn add_gate(
+        &mut self,
+        name: impl Into<String>,
+        kind: GateKind,
+        fanins: &[NodeId],
+    ) -> Result<NodeId, NetlistError> {
+        let name = name.into();
+        self.check_fresh_name(&name)?;
+        match kind.arity() {
+            Some(expected) if expected != fanins.len() => {
+                return Err(NetlistError::BadArity {
+                    gate: name,
+                    kind,
+                    expected,
+                    got: fanins.len(),
+                });
+            }
+            None if fanins.is_empty() => {
+                return Err(NetlistError::BadArity { gate: name, kind, expected: 1, got: 0 });
+            }
+            _ => {}
+        }
+        if kind.is_input() {
+            return Err(NetlistError::Unsupported(
+                "use add_input/add_key_input for input nodes".into(),
+            ));
+        }
+        for f in fanins {
+            if f.index() >= self.nodes.len() {
+                return Err(NetlistError::InvalidNode(f.0));
+            }
+        }
+        Ok(self.push_node(name, Node { kind, fanins: fanins.to_vec() }))
+    }
+
+    /// Marks a node as a primary output. A node may be marked only once.
+    ///
+    /// # Errors
+    ///
+    /// - [`NetlistError::InvalidNode`] if the id is out of range.
+    /// - [`NetlistError::DuplicateName`] if the node is already an output.
+    pub fn mark_output(&mut self, id: NodeId) -> Result<(), NetlistError> {
+        if id.index() >= self.nodes.len() {
+            return Err(NetlistError::InvalidNode(id.0));
+        }
+        if self.outputs.contains(&id) {
+            return Err(NetlistError::DuplicateName(self.node_name(id).to_string()));
+        }
+        self.outputs.push(id);
+        Ok(())
+    }
+
+    /// Inserts a new gate *after* `target`: the gate takes `target` as its
+    /// first fanin (plus `extra_fanins`), and every existing consumer of
+    /// `target` — including the output list — is redirected to the new gate.
+    ///
+    /// This is the primitive locking schemes use to splice key gates into a
+    /// wire. Inserting cannot create a cycle: the new gate only reads
+    /// existing nodes.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Netlist::add_gate`].
+    pub fn insert_after(
+        &mut self,
+        target: NodeId,
+        name: impl Into<String>,
+        kind: GateKind,
+        extra_fanins: &[NodeId],
+    ) -> Result<NodeId, NetlistError> {
+        if target.index() >= self.nodes.len() {
+            return Err(NetlistError::InvalidNode(target.0));
+        }
+        let mut fanins = Vec::with_capacity(1 + extra_fanins.len());
+        fanins.push(target);
+        fanins.extend_from_slice(extra_fanins);
+        let new_id = self.add_gate(name, kind, &fanins)?;
+        // Redirect all other consumers of `target` to the new gate.
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            if i == new_id.index() {
+                continue;
+            }
+            for f in &mut node.fanins {
+                if *f == target {
+                    *f = new_id;
+                }
+            }
+        }
+        for out in &mut self.outputs {
+            if *out == target {
+                *out = new_id;
+            }
+        }
+        Ok(new_id)
+    }
+
+    /// Replaces occurrences of fanin `old` with `new` in one gate.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::InvalidNode`] if any id is out of range,
+    /// [`NetlistError::UnknownSignal`] if `old` is not a fanin of `gate`.
+    pub fn replace_fanin(
+        &mut self,
+        gate: NodeId,
+        old: NodeId,
+        new: NodeId,
+    ) -> Result<(), NetlistError> {
+        for id in [gate, old, new] {
+            if id.index() >= self.nodes.len() {
+                return Err(NetlistError::InvalidNode(id.0));
+            }
+        }
+        let node = &mut self.nodes[gate.index()];
+        let mut found = false;
+        for f in &mut node.fanins {
+            if *f == old {
+                *f = new;
+                found = true;
+            }
+        }
+        if found {
+            Ok(())
+        } else {
+            Err(NetlistError::UnknownSignal(self.names[old.index()].clone()))
+        }
+    }
+
+    /// Computes a topological order of all nodes (fanins before fanouts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Cycle`] if the netlist is cyclic (possible
+    /// only for netlists built by the parser, which allows forward
+    /// references).
+    pub fn topological_order(&self) -> Result<Vec<NodeId>, NetlistError> {
+        let n = self.nodes.len();
+        // Kahn's algorithm over *distinct* fanin edges (the fanout adjacency
+        // is deduplicated, so repeated fanins like And(a, a) count once).
+        let mut indegree = vec![0u32; n];
+        let mut scratch: Vec<NodeId> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            scratch.clear();
+            scratch.extend_from_slice(&node.fanins);
+            scratch.sort_unstable();
+            scratch.dedup();
+            indegree[i] = scratch.len() as u32;
+        }
+        let fanouts = self.fanout_adjacency();
+        let mut order = Vec::with_capacity(n);
+        let mut ready: Vec<NodeId> =
+            (0..n).filter(|&i| indegree[i] == 0).map(NodeId::from_index).collect();
+        while let Some(id) = ready.pop() {
+            order.push(id);
+            for &out in &fanouts[id.index()] {
+                indegree[out.index()] -= 1;
+                if indegree[out.index()] == 0 {
+                    ready.push(out);
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck = (0..n)
+                .find(|&i| indegree[i] > 0)
+                .map(|i| self.names[i].clone())
+                .unwrap_or_default();
+            return Err(NetlistError::Cycle { involving: stuck });
+        }
+        Ok(order)
+    }
+
+    /// Builds the reverse adjacency: for each node, the list of nodes that
+    /// read it (with multiplicity collapsed per edge occurrence).
+    pub fn fanout_adjacency(&self) -> Vec<Vec<NodeId>> {
+        let mut fanouts = vec![Vec::new(); self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for f in &node.fanins {
+                fanouts[f.index()].push(NodeId::from_index(i));
+            }
+        }
+        for list in &mut fanouts {
+            list.sort_unstable();
+            list.dedup();
+        }
+        fanouts
+    }
+
+    /// Exhaustive structural validation: arity, id ranges, name table
+    /// consistency, acyclicity, and output validity.
+    ///
+    /// The public construction API maintains these invariants; `validate` is
+    /// a safety net for parser-produced or hand-mutated netlists.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a [`NetlistError`].
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        if self.names.len() != self.nodes.len() {
+            return Err(NetlistError::Unsupported("name table length mismatch".into()));
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            let name = &self.names[i];
+            if self.name_to_node.get(name) != Some(&NodeId::from_index(i)) {
+                return Err(NetlistError::DuplicateName(name.clone()));
+            }
+            match node.kind.arity() {
+                Some(expected) if expected != node.fanins.len() => {
+                    return Err(NetlistError::BadArity {
+                        gate: name.clone(),
+                        kind: node.kind,
+                        expected,
+                        got: node.fanins.len(),
+                    });
+                }
+                None if node.fanins.is_empty() => {
+                    return Err(NetlistError::BadArity {
+                        gate: name.clone(),
+                        kind: node.kind,
+                        expected: 1,
+                        got: 0,
+                    });
+                }
+                _ => {}
+            }
+            for f in &node.fanins {
+                if f.index() >= self.nodes.len() {
+                    return Err(NetlistError::InvalidNode(f.0));
+                }
+            }
+        }
+        for &out in &self.outputs {
+            if out.index() >= self.nodes.len() {
+                return Err(NetlistError::InvalidNode(out.0));
+            }
+        }
+        for &pi in self.primary_inputs.iter().chain(&self.key_inputs) {
+            if !self.nodes[pi.index()].kind.is_input() {
+                return Err(NetlistError::NotAnInput { name: self.names[pi.index()].clone() });
+            }
+        }
+        self.topological_order()?;
+        Ok(())
+    }
+
+    /// Parser-internal: overwrite a node's definition (used to resolve
+    /// forward references). Callers must re-validate.
+    pub(crate) fn set_node(&mut self, id: NodeId, kind: GateKind, fanins: Vec<NodeId>) {
+        self.nodes[id.index()] = Node { kind, fanins };
+    }
+
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} inputs, {} keys, {} outputs, {} gates",
+            self.name,
+            self.primary_inputs.len(),
+            self.key_inputs.len(),
+            self.outputs.len(),
+            self.num_gates()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c17_like() -> Netlist {
+        let mut nl = Netlist::new("c17");
+        let i1 = nl.add_input("G1").unwrap();
+        let i2 = nl.add_input("G2").unwrap();
+        let i3 = nl.add_input("G3").unwrap();
+        let i6 = nl.add_input("G6").unwrap();
+        let i7 = nl.add_input("G7").unwrap();
+        let n10 = nl.add_gate("G10", GateKind::Nand, &[i1, i3]).unwrap();
+        let n11 = nl.add_gate("G11", GateKind::Nand, &[i3, i6]).unwrap();
+        let n16 = nl.add_gate("G16", GateKind::Nand, &[i2, n11]).unwrap();
+        let n19 = nl.add_gate("G19", GateKind::Nand, &[n11, i7]).unwrap();
+        let n22 = nl.add_gate("G22", GateKind::Nand, &[n10, n16]).unwrap();
+        let n23 = nl.add_gate("G23", GateKind::Nand, &[n16, n19]).unwrap();
+        nl.mark_output(n22).unwrap();
+        nl.mark_output(n23).unwrap();
+        nl
+    }
+
+    #[test]
+    fn build_and_query() {
+        let nl = c17_like();
+        assert_eq!(nl.inputs().len(), 5);
+        assert_eq!(nl.outputs().len(), 2);
+        assert_eq!(nl.num_gates(), 6);
+        assert_eq!(nl.num_nodes(), 11);
+        assert_eq!(nl.find("G16"), Some(NodeId(7)));
+        assert_eq!(nl.node_name(NodeId(7)), "G16");
+        assert_eq!(nl.node(NodeId(7)).kind(), GateKind::Nand);
+        assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut nl = Netlist::new("t");
+        nl.add_input("a").unwrap();
+        assert!(matches!(nl.add_input("a"), Err(NetlistError::DuplicateName(_))));
+        assert!(matches!(
+            nl.add_gate("a", GateKind::And, &[NodeId(0)]),
+            Err(NetlistError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        assert!(matches!(
+            nl.add_gate("g", GateKind::Not, &[a, b]),
+            Err(NetlistError::BadArity { expected: 1, got: 2, .. })
+        ));
+        assert!(matches!(
+            nl.add_gate("g", GateKind::And, &[]),
+            Err(NetlistError::BadArity { .. })
+        ));
+        assert!(matches!(
+            nl.add_gate("g", GateKind::Mux, &[a, b]),
+            Err(NetlistError::BadArity { expected: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn fanins_must_exist() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a").unwrap();
+        assert!(matches!(
+            nl.add_gate("g", GateKind::And, &[a, NodeId(42)]),
+            Err(NetlistError::InvalidNode(42))
+        ));
+    }
+
+    #[test]
+    fn outputs_marked_once() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a").unwrap();
+        nl.mark_output(a).unwrap();
+        assert!(nl.mark_output(a).is_err());
+        assert!(nl.mark_output(NodeId(9)).is_err());
+    }
+
+    #[test]
+    fn insert_after_redirects_consumers() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let g = nl.add_gate("g", GateKind::And, &[a, b]).unwrap();
+        let h = nl.add_gate("h", GateKind::Not, &[g]).unwrap();
+        nl.mark_output(g).unwrap();
+        nl.mark_output(h).unwrap();
+
+        let k = nl.add_key_input("k0").unwrap();
+        let x = nl.insert_after(g, "g_xor", GateKind::Xor, &[k]).unwrap();
+
+        // The new gate reads g and k.
+        assert_eq!(nl.node(x).fanins(), &[g, k]);
+        // h now reads the new gate instead of g.
+        assert_eq!(nl.node(h).fanins(), &[x]);
+        // The output list follows too.
+        assert_eq!(nl.outputs(), &[x, h]);
+        assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    fn replace_fanin_works() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let c = nl.add_input("c").unwrap();
+        let g = nl.add_gate("g", GateKind::Or, &[a, b]).unwrap();
+        nl.replace_fanin(g, a, c).unwrap();
+        assert_eq!(nl.node(g).fanins(), &[c, b]);
+        assert!(nl.replace_fanin(g, a, c).is_err(), "a no longer a fanin");
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let nl = c17_like();
+        let order = nl.topological_order().unwrap();
+        let mut pos = vec![0usize; nl.num_nodes()];
+        for (i, id) in order.iter().enumerate() {
+            pos[id.index()] = i;
+        }
+        for id in nl.node_ids() {
+            for f in nl.node(id).fanins() {
+                assert!(pos[f.index()] < pos[id.index()], "{f} before {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_detected() {
+        // Build a cycle through the parser-internal hook.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a").unwrap();
+        let g = nl.add_gate("g", GateKind::Not, &[a]).unwrap();
+        let h = nl.add_gate("h", GateKind::Not, &[g]).unwrap();
+        nl.set_node(g, GateKind::Not, vec![h]);
+        assert!(matches!(nl.topological_order(), Err(NetlistError::Cycle { .. })));
+        assert!(nl.validate().is_err());
+    }
+
+    #[test]
+    fn key_inputs_are_separate() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a").unwrap();
+        let k = nl.add_key_input("keyinput0").unwrap();
+        assert_eq!(nl.inputs(), &[a]);
+        assert_eq!(nl.key_inputs(), &[k]);
+        assert_eq!(nl.node(k).kind(), GateKind::KeyInput);
+    }
+
+    #[test]
+    fn display_summary() {
+        let nl = c17_like();
+        let s = nl.to_string();
+        assert!(s.contains("c17"));
+        assert!(s.contains("5 inputs"));
+        assert!(s.contains("6 gates"));
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_and_informative() {
+        let e = NetlistError::UnknownSignal("foo".into()).to_string();
+        assert!(e.contains("foo"));
+        let e = NetlistError::Cycle { involving: "g1".into() }.to_string();
+        assert!(e.contains("g1"));
+    }
+}

@@ -1,0 +1,834 @@
+//! Netlist transformations: input cofactoring and logic simplification.
+//!
+//! Algorithm 1 of the paper pins `N` primary inputs to constants and then
+//! re-synthesizes the netlist "to remove any redundant logic" before handing
+//! it to the SAT attack. [`cofactor`] performs the pinning and
+//! [`simplify`] performs the redundancy removal: constant folding,
+//! double-negation and buffer collapsing, structural hashing (common
+//! subexpression merging) and dead-logic elimination. The combined
+//! [`cofactor_simplify`] is the `generate_conditional_netlist` step.
+//!
+//! All transformations preserve the netlist *interface*: the primary-input,
+//! key-input and output lists keep their arity and order, so oracles and
+//! attacks can treat original and transformed netlists interchangeably.
+
+use std::collections::HashMap;
+
+use crate::analysis::transitive_fanin;
+use crate::gate::GateKind;
+use crate::netlist::{Netlist, NetlistError, NodeId};
+
+/// What a node of the old netlist became in the rebuilt netlist.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Driver {
+    Node(NodeId),
+    Const(bool),
+}
+
+/// Size accounting for a simplification run.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SimplifyStats {
+    /// Nodes before (including inputs).
+    pub nodes_before: usize,
+    /// Nodes after.
+    pub nodes_after: usize,
+    /// Gates before (excluding inputs/constants).
+    pub gates_before: usize,
+    /// Gates after.
+    pub gates_after: usize,
+}
+
+impl SimplifyStats {
+    /// Fraction of gates removed, in `[0, 1]`.
+    pub fn gate_reduction(&self) -> f64 {
+        if self.gates_before == 0 {
+            0.0
+        } else {
+            1.0 - self.gates_after as f64 / self.gates_before as f64
+        }
+    }
+}
+
+/// Pins primary inputs to constants without any other rewriting.
+///
+/// The pinned inputs stay in the input list (so the interface is unchanged)
+/// but no longer drive anything; their consumers read a constant node
+/// instead. Use [`simplify`] afterwards — or [`cofactor_simplify`] — to
+/// sweep the resulting dead logic.
+///
+/// # Errors
+///
+/// - [`NetlistError::NotAnInput`] if a pinned node is not a primary input.
+/// - [`NetlistError::InvalidNode`] if a pinned id is out of range.
+/// - [`NetlistError::Cycle`] if the netlist is cyclic.
+pub fn cofactor(netlist: &Netlist, pins: &[(NodeId, bool)]) -> Result<Netlist, NetlistError> {
+    for &(id, _) in pins {
+        if id.index() >= netlist.num_nodes() {
+            return Err(NetlistError::InvalidNode(id.index() as u32));
+        }
+        if !netlist.inputs().contains(&id) {
+            return Err(NetlistError::NotAnInput { name: netlist.node_name(id).to_string() });
+        }
+    }
+    let order = netlist.topological_order()?;
+    let mut out = Netlist::new(format!("{}_cof", netlist.name()));
+    let mut map: Vec<Option<NodeId>> = vec![None; netlist.num_nodes()];
+
+    for &pi in netlist.inputs() {
+        map[pi.index()] = Some(out.add_input(netlist.node_name(pi))?);
+    }
+    for &ki in netlist.key_inputs() {
+        map[ki.index()] = Some(out.add_key_input(netlist.node_name(ki))?);
+    }
+    // Create one constant node per pinned input and redirect reads to it.
+    for &(id, value) in pins {
+        let name = fresh_name(&out, &format!("{}$pin", netlist.node_name(id)));
+        let cid = out.add_const(name, value)?;
+        map[id.index()] = Some(cid);
+    }
+
+    for id in order {
+        let node = netlist.node(id);
+        if node.kind().is_input() {
+            continue;
+        }
+        let fanins: Vec<NodeId> =
+            node.fanins().iter().map(|f| map[f.index()].expect("topo order")).collect();
+        let new_id = match node.kind() {
+            GateKind::Const(v) => out.add_const(netlist.node_name(id), v)?,
+            kind => out.add_gate(netlist.node_name(id), kind, &fanins)?,
+        };
+        map[id.index()] = Some(new_id);
+    }
+    for &o in netlist.outputs() {
+        let mapped = map[o.index()].expect("outputs are mapped");
+        // A pinned input marked as output maps to its constant node, which
+        // may coincide with another output's driver only via distinct nodes,
+        // so marking cannot collide here.
+        out.mark_output(mapped)?;
+    }
+    Ok(out)
+}
+
+/// Rewrites the netlist into an equivalent, usually smaller one:
+/// constant folding, redundant-fanin removal, double-negation/buffer
+/// collapsing, structural hashing, and dead-logic elimination.
+///
+/// The interface (inputs, key inputs, outputs: count and order) is
+/// preserved. Output nodes keep their original names where possible.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Cycle`] if the netlist is cyclic.
+pub fn simplify(netlist: &Netlist) -> Result<(Netlist, SimplifyStats), NetlistError> {
+    let order = netlist.topological_order()?;
+    let needed = transitive_fanin(netlist, netlist.outputs());
+    let mut rb = Rebuilder::new(format!("{}_simp", netlist.name()));
+
+    let mut map: Vec<Option<Driver>> = vec![None; netlist.num_nodes()];
+    for &pi in netlist.inputs() {
+        map[pi.index()] = Some(Driver::Node(rb.out.add_input(netlist.node_name(pi))?));
+    }
+    for &ki in netlist.key_inputs() {
+        map[ki.index()] = Some(Driver::Node(rb.out.add_key_input(netlist.node_name(ki))?));
+    }
+
+    for id in order {
+        let node = netlist.node(id);
+        if node.kind().is_input() {
+            continue;
+        }
+        if !needed[id.index()] {
+            continue; // dead logic: don't rebuild
+        }
+        let fanins: Vec<Driver> =
+            node.fanins().iter().map(|f| map[f.index()].expect("topo order")).collect();
+        let name = netlist.node_name(id);
+        let driver = rb.build(node.kind(), &fanins, name)?;
+        map[id.index()] = Some(driver);
+    }
+
+    // Materialize outputs, preserving arity/order and names best-effort.
+    for &o in netlist.outputs() {
+        let name = netlist.node_name(o).to_string();
+        let driver = map[o.index()].expect("output cone was rebuilt");
+        let node = match driver {
+            Driver::Const(v) => {
+                let n = fresh_or(&rb.out, &name);
+                rb.out.add_const(n, v)?
+            }
+            Driver::Node(n) => {
+                if rb.out.outputs().contains(&n) {
+                    // Two outputs collapsed onto one node: keep both ports by
+                    // inserting an explicit buffer for the second.
+                    let nm = fresh_or(&rb.out, &name);
+                    rb.out.add_gate(nm, GateKind::Buf, &[n])?
+                } else {
+                    n
+                }
+            }
+        };
+        rb.out.mark_output(node)?;
+    }
+
+    // Folding can strand nodes that were live in the *input* cone (e.g. the
+    // Not in And(a, ¬a) → 0); sweep them with a final dead-logic prune.
+    let pruned = prune_dead(&rb.out)?;
+    let stats = SimplifyStats {
+        nodes_before: netlist.num_nodes(),
+        nodes_after: pruned.num_nodes(),
+        gates_before: netlist.num_gates(),
+        gates_after: pruned.num_gates(),
+    };
+    Ok((pruned, stats))
+}
+
+/// Rebuilds a netlist keeping only the inputs and the transitive fanin of
+/// its outputs (pure dead-logic elimination, no rewriting).
+fn prune_dead(netlist: &Netlist) -> Result<Netlist, NetlistError> {
+    let order = netlist.topological_order()?;
+    let needed = transitive_fanin(netlist, netlist.outputs());
+    let mut out = Netlist::new(netlist.name().to_string());
+    let mut map: Vec<Option<NodeId>> = vec![None; netlist.num_nodes()];
+    for &pi in netlist.inputs() {
+        map[pi.index()] = Some(out.add_input(netlist.node_name(pi))?);
+    }
+    for &ki in netlist.key_inputs() {
+        map[ki.index()] = Some(out.add_key_input(netlist.node_name(ki))?);
+    }
+    for id in order {
+        let node = netlist.node(id);
+        if node.kind().is_input() || !needed[id.index()] {
+            continue;
+        }
+        let fanins: Vec<NodeId> =
+            node.fanins().iter().map(|f| map[f.index()].expect("topo order")).collect();
+        let new_id = match node.kind() {
+            GateKind::Const(v) => out.add_const(netlist.node_name(id), v)?,
+            kind => out.add_gate(netlist.node_name(id), kind, &fanins)?,
+        };
+        map[id.index()] = Some(new_id);
+    }
+    for &o in netlist.outputs() {
+        out.mark_output(map[o.index()].expect("outputs are needed"))?;
+    }
+    Ok(out)
+}
+
+/// Hardwires every key input to the given constant value, producing a
+/// *keyless* netlist (the "unlocked" circuit obtained by applying a key).
+///
+/// Unlike [`cofactor`], the pinned ports are removed from the interface:
+/// the result has no key inputs and can be compared directly against an
+/// original, never-locked design. Combine with [`simplify`] to sweep the
+/// key logic away.
+///
+/// # Errors
+///
+/// - [`NetlistError::BadArity`] if `values` does not match the key count.
+/// - [`NetlistError::Cycle`] if the netlist is cyclic.
+pub fn pin_keys(netlist: &Netlist, values: &[bool]) -> Result<Netlist, NetlistError> {
+    if values.len() != netlist.key_inputs().len() {
+        return Err(NetlistError::BadArity {
+            gate: "<key vector>".into(),
+            kind: GateKind::KeyInput,
+            expected: netlist.key_inputs().len(),
+            got: values.len(),
+        });
+    }
+    let order = netlist.topological_order()?;
+    let mut out = Netlist::new(format!("{}_keyed", netlist.name()));
+    let mut map: Vec<Option<NodeId>> = vec![None; netlist.num_nodes()];
+    for &pi in netlist.inputs() {
+        map[pi.index()] = Some(out.add_input(netlist.node_name(pi))?);
+    }
+    for (i, &ki) in netlist.key_inputs().iter().enumerate() {
+        let name = fresh_or(&out, &format!("{}$pin", netlist.node_name(ki)));
+        map[ki.index()] = Some(out.add_const(name, values[i])?);
+    }
+    for id in order {
+        let node = netlist.node(id);
+        if node.kind().is_input() {
+            continue;
+        }
+        let fanins: Vec<NodeId> =
+            node.fanins().iter().map(|f| map[f.index()].expect("topo order")).collect();
+        let new_id = match node.kind() {
+            GateKind::Const(v) => out.add_const(netlist.node_name(id), v)?,
+            kind => out.add_gate(netlist.node_name(id), kind, &fanins)?,
+        };
+        map[id.index()] = Some(new_id);
+    }
+    for &o in netlist.outputs() {
+        out.mark_output(map[o.index()].expect("outputs are mapped"))?;
+    }
+    Ok(out)
+}
+
+/// [`cofactor`] followed by [`simplify`]: the paper's
+/// `generate_conditional_netlist` (Algorithm 1, line 4).
+///
+/// # Errors
+///
+/// As for [`cofactor`] and [`simplify`].
+pub fn cofactor_simplify(
+    netlist: &Netlist,
+    pins: &[(NodeId, bool)],
+) -> Result<(Netlist, SimplifyStats), NetlistError> {
+    let pinned = cofactor(netlist, pins)?;
+    simplify(&pinned)
+}
+
+/// Returns `base` if unused in `nl`, otherwise `base$2`, `base$3`, ….
+fn fresh_or(nl: &Netlist, base: &str) -> String {
+    if nl.find(base).is_none() {
+        return base.to_string();
+    }
+    fresh_name(nl, base)
+}
+
+/// Returns a name derived from `base` that is unused in `nl`.
+fn fresh_name(nl: &Netlist, base: &str) -> String {
+    let mut i = 2usize;
+    loop {
+        let cand = format!("{base}${i}");
+        if nl.find(&cand).is_none() {
+            return cand;
+        }
+        i += 1;
+    }
+}
+
+/// Incremental netlist rebuilder with folding and structural hashing.
+struct Rebuilder {
+    out: Netlist,
+    strash: HashMap<(GateKind, Vec<NodeId>), NodeId>,
+}
+
+impl Rebuilder {
+    fn new(name: String) -> Rebuilder {
+        Rebuilder { out: Netlist::new(name), strash: HashMap::new() }
+    }
+
+    /// True if node `a` in the rebuilt netlist is `Not(b)`.
+    fn is_not_of(&self, a: NodeId, b: NodeId) -> bool {
+        let n = self.out.node(a);
+        n.kind() == GateKind::Not && n.fanins()[0] == b
+    }
+
+    /// True if `a` and `b` are structurally complementary.
+    fn complementary(&self, a: NodeId, b: NodeId) -> bool {
+        self.is_not_of(a, b) || self.is_not_of(b, a)
+    }
+
+    /// Creates (or reuses via structural hashing) a gate node.
+    fn emit(
+        &mut self,
+        kind: GateKind,
+        mut fanins: Vec<NodeId>,
+        name_hint: &str,
+    ) -> Result<Driver, NetlistError> {
+        if kind.is_symmetric() {
+            fanins.sort_unstable();
+        }
+        let key = (kind, fanins.clone());
+        if let Some(&existing) = self.strash.get(&key) {
+            return Ok(Driver::Node(existing));
+        }
+        let name = fresh_or(&self.out, name_hint);
+        let id = self.out.add_gate(name, kind, &fanins)?;
+        self.strash.insert(key, id);
+        Ok(Driver::Node(id))
+    }
+
+    /// Builds `Not(d)` with folding (`Not(Const)`, `Not(Not(x))`).
+    fn make_not(&mut self, d: Driver, name_hint: &str) -> Result<Driver, NetlistError> {
+        match d {
+            Driver::Const(v) => Ok(Driver::Const(!v)),
+            Driver::Node(x) => {
+                let n = self.out.node(x);
+                if n.kind() == GateKind::Not {
+                    Ok(Driver::Node(n.fanins()[0]))
+                } else {
+                    self.emit(GateKind::Not, vec![x], name_hint)
+                }
+            }
+        }
+    }
+
+    /// Folds and emits one gate of the old netlist.
+    fn build(
+        &mut self,
+        kind: GateKind,
+        fanins: &[Driver],
+        name: &str,
+    ) -> Result<Driver, NetlistError> {
+        match kind {
+            GateKind::Input | GateKind::KeyInput => unreachable!("inputs handled by caller"),
+            GateKind::Const(v) => Ok(Driver::Const(v)),
+            GateKind::Buf => Ok(fanins[0]),
+            GateKind::Not => self.make_not(fanins[0], name),
+            GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                self.build_and_or(kind, fanins, name)
+            }
+            GateKind::Xor | GateKind::Xnor => self.build_parity(kind, fanins, name),
+            GateKind::Mux => self.build_mux(fanins, name),
+        }
+    }
+
+    fn build_and_or(
+        &mut self,
+        kind: GateKind,
+        fanins: &[Driver],
+        name: &str,
+    ) -> Result<Driver, NetlistError> {
+        let (is_and, inverting) = match kind {
+            GateKind::And => (true, false),
+            GateKind::Nand => (true, true),
+            GateKind::Or => (false, false),
+            GateKind::Nor => (false, true),
+            _ => unreachable!(),
+        };
+        // For And: a false input dominates; true inputs are dropped.
+        // For Or (the dual): swap the roles.
+        let dominant = !is_and;
+        let mut nodes: Vec<NodeId> = Vec::with_capacity(fanins.len());
+        for &d in fanins {
+            match d {
+                Driver::Const(v) => {
+                    if v == dominant {
+                        return Ok(Driver::Const(dominant ^ inverting));
+                    }
+                    // neutral constant: drop
+                }
+                Driver::Node(x) => nodes.push(x),
+            }
+        }
+        nodes.sort_unstable();
+        nodes.dedup(); // x ∧ x = x, x ∨ x = x
+        // Complementary pair: x ∧ ¬x = 0, x ∨ ¬x = 1.
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                if self.complementary(nodes[i], nodes[j]) {
+                    return Ok(Driver::Const(dominant ^ inverting));
+                }
+            }
+        }
+        match nodes.len() {
+            0 => Ok(Driver::Const(!dominant ^ inverting)),
+            1 => {
+                if inverting {
+                    self.make_not(Driver::Node(nodes[0]), name)
+                } else {
+                    Ok(Driver::Node(nodes[0]))
+                }
+            }
+            _ => {
+                let out_kind = match (is_and, inverting) {
+                    (true, false) => GateKind::And,
+                    (true, true) => GateKind::Nand,
+                    (false, false) => GateKind::Or,
+                    (false, true) => GateKind::Nor,
+                };
+                self.emit(out_kind, nodes, name)
+            }
+        }
+    }
+
+    fn build_parity(
+        &mut self,
+        kind: GateKind,
+        fanins: &[Driver],
+        name: &str,
+    ) -> Result<Driver, NetlistError> {
+        let mut invert = kind == GateKind::Xnor;
+        let mut nodes: Vec<NodeId> = Vec::with_capacity(fanins.len());
+        for &d in fanins {
+            match d {
+                Driver::Const(v) => invert ^= v,
+                Driver::Node(x) => nodes.push(x),
+            }
+        }
+        // x ⊕ x cancels: keep each node iff it occurs an odd number of times.
+        nodes.sort_unstable();
+        let mut kept: Vec<NodeId> = Vec::with_capacity(nodes.len());
+        let mut i = 0;
+        while i < nodes.len() {
+            let mut j = i;
+            while j < nodes.len() && nodes[j] == nodes[i] {
+                j += 1;
+            }
+            if (j - i) % 2 == 1 {
+                kept.push(nodes[i]);
+            }
+            i = j;
+        }
+        // x ⊕ ¬x = 1: cancel complementary pairs.
+        let mut nodes = kept;
+        'outer: loop {
+            for i in 0..nodes.len() {
+                for j in (i + 1)..nodes.len() {
+                    if self.complementary(nodes[i], nodes[j]) {
+                        nodes.remove(j);
+                        nodes.remove(i);
+                        invert = !invert;
+                        continue 'outer;
+                    }
+                }
+            }
+            break;
+        }
+        match nodes.len() {
+            0 => Ok(Driver::Const(invert)),
+            1 => {
+                if invert {
+                    self.make_not(Driver::Node(nodes[0]), name)
+                } else {
+                    Ok(Driver::Node(nodes[0]))
+                }
+            }
+            _ => {
+                let out_kind = if invert { GateKind::Xnor } else { GateKind::Xor };
+                self.emit(out_kind, nodes, name)
+            }
+        }
+    }
+
+    fn build_mux(&mut self, fanins: &[Driver], name: &str) -> Result<Driver, NetlistError> {
+        let (s, d0, d1) = (fanins[0], fanins[1], fanins[2]);
+        match s {
+            Driver::Const(b) => return Ok(if b { d1 } else { d0 }),
+            Driver::Node(sn) => {
+                if d0 == d1 {
+                    return Ok(d0);
+                }
+                match (d0, d1) {
+                    (Driver::Const(a), Driver::Const(b)) => {
+                        debug_assert_ne!(a, b, "equal consts handled above");
+                        if b {
+                            // Mux(s, 0, 1) = s
+                            return Ok(s);
+                        }
+                        // Mux(s, 1, 0) = ¬s
+                        return self.make_not(s, name);
+                    }
+                    (Driver::Const(false), Driver::Node(y)) => {
+                        // Mux(s, 0, y) = s ∧ y
+                        return self.build_and_or(
+                            GateKind::And,
+                            &[Driver::Node(sn), Driver::Node(y)],
+                            name,
+                        );
+                    }
+                    (Driver::Const(true), Driver::Node(y)) => {
+                        // Mux(s, 1, y) = ¬s ∨ y
+                        let ns = self.make_not(s, name)?;
+                        return self.build_and_or(GateKind::Or, &[ns, Driver::Node(y)], name);
+                    }
+                    (Driver::Node(x), Driver::Const(true)) => {
+                        // Mux(s, x, 1) = s ∨ x
+                        return self.build_and_or(
+                            GateKind::Or,
+                            &[Driver::Node(sn), Driver::Node(x)],
+                            name,
+                        );
+                    }
+                    (Driver::Node(x), Driver::Const(false)) => {
+                        // Mux(s, x, 0) = ¬s ∧ x
+                        let ns = self.make_not(s, name)?;
+                        return self.build_and_or(GateKind::And, &[ns, Driver::Node(x)], name);
+                    }
+                    (Driver::Node(x), Driver::Node(y)) => {
+                        if self.complementary(x, y) {
+                            // Mux(s, x, ¬x) = s ⊕ x; Mux(s, ¬y, y) = s ⊕ ¬y.
+                            return self.build_parity(
+                                GateKind::Xor,
+                                &[Driver::Node(sn), Driver::Node(x)],
+                                name,
+                            );
+                        }
+                        if x == sn {
+                            // Mux(s, s, y) = s ∧ y
+                            return self.build_and_or(
+                                GateKind::And,
+                                &[Driver::Node(sn), Driver::Node(y)],
+                                name,
+                            );
+                        }
+                        if y == sn {
+                            // Mux(s, x, s) = s ∨ x
+                            return self.build_and_or(
+                                GateKind::Or,
+                                &[Driver::Node(sn), Driver::Node(x)],
+                                name,
+                            );
+                        }
+                        let fanins = vec![sn, x, y];
+                        return self.emit(GateKind::Mux, fanins, name);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{bits_of, Simulator};
+
+    /// Exhaustively checks that two netlists with identical interfaces
+    /// compute the same function (inputs + keys ≤ 16 bits).
+    fn assert_equivalent(a: &Netlist, b: &Netlist) {
+        assert_eq!(a.inputs().len(), b.inputs().len());
+        assert_eq!(a.key_inputs().len(), b.key_inputs().len());
+        assert_eq!(a.outputs().len(), b.outputs().len());
+        let ni = a.inputs().len();
+        let nk = a.key_inputs().len();
+        assert!(ni + nk <= 16, "exhaustive check limited to 16 bits");
+        let mut sa = Simulator::new(a).unwrap();
+        let mut sb = Simulator::new(b).unwrap();
+        for v in 0..(1u64 << (ni + nk)) {
+            let bits = bits_of(v, ni + nk);
+            let (i, k) = bits.split_at(ni);
+            assert_eq!(sa.eval(i, k), sb.eval(i, k), "differs at {v:b}");
+        }
+    }
+
+    fn example() -> Netlist {
+        let mut nl = Netlist::new("ex");
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let c = nl.add_input("c").unwrap();
+        let nb = nl.add_gate("nb", GateKind::Not, &[b]).unwrap();
+        let nnb = nl.add_gate("nnb", GateKind::Not, &[nb]).unwrap();
+        let g1 = nl.add_gate("g1", GateKind::And, &[a, nnb]).unwrap();
+        let g2 = nl.add_gate("g2", GateKind::And, &[a, b]).unwrap(); // same as g1 after NotNot
+        let g3 = nl.add_gate("g3", GateKind::Or, &[g1, g2]).unwrap(); // = g1
+        let g4 = nl.add_gate("g4", GateKind::Xor, &[g3, c]).unwrap();
+        let dead = nl.add_gate("dead", GateKind::Nand, &[a, c]).unwrap();
+        let _ = dead;
+        nl.mark_output(g4).unwrap();
+        nl
+    }
+
+    #[test]
+    fn simplify_preserves_function() {
+        let nl = example();
+        let (simp, stats) = simplify(&nl).unwrap();
+        assert_equivalent(&nl, &simp);
+        assert!(stats.gates_after < stats.gates_before);
+        // NotNot collapsed, g1/g2 merged, g3 aliased, dead gate gone:
+        // remaining gates are just the Xor (and possibly the Not b).
+        assert!(simp.num_gates() <= 2, "got {}", simp.num_gates());
+        assert!(simp.validate().is_ok());
+    }
+
+    #[test]
+    fn simplify_is_idempotent_in_size() {
+        let nl = example();
+        let (s1, _) = simplify(&nl).unwrap();
+        let (s2, _) = simplify(&s1).unwrap();
+        assert_eq!(s1.num_nodes(), s2.num_nodes());
+        assert_equivalent(&s1, &s2);
+    }
+
+    #[test]
+    fn cofactor_pins_inputs() {
+        let nl = example();
+        let a = nl.find("a").unwrap();
+        let cof = cofactor(&nl, &[(a, true)]).unwrap();
+        // Interface unchanged.
+        assert_eq!(cof.inputs().len(), nl.inputs().len());
+        assert_eq!(cof.outputs().len(), 1);
+        // The cofactored circuit ignores input a.
+        let mut sim = Simulator::new(&cof).unwrap();
+        let mut orig = Simulator::new(&nl).unwrap();
+        for v in 0..8u64 {
+            let bits = bits_of(v, 3);
+            let mut forced = bits.clone();
+            forced[0] = true;
+            assert_eq!(sim.eval(&bits, &[]), orig.eval(&forced, &[]), "pattern {v:b}");
+        }
+        assert!(cof.validate().is_ok());
+    }
+
+    #[test]
+    fn cofactor_rejects_non_inputs() {
+        let nl = example();
+        let g1 = nl.find("g1").unwrap();
+        assert!(matches!(
+            cofactor(&nl, &[(g1, false)]),
+            Err(NetlistError::NotAnInput { .. })
+        ));
+    }
+
+    #[test]
+    fn cofactor_simplify_shrinks() {
+        let nl = example();
+        let a = nl.find("a").unwrap();
+        // a = 0 kills both And gates; the output degenerates to c.
+        let (cs, stats) = cofactor_simplify(&nl, &[(a, false)]).unwrap();
+        assert_eq!(cs.num_gates(), 0, "xor with constant-0 side folds to buffer/alias");
+        assert!(stats.gate_reduction() > 0.9);
+        let mut sim = Simulator::new(&cs).unwrap();
+        // Output equals c regardless of a and b.
+        for v in 0..8u64 {
+            let bits = bits_of(v, 3);
+            assert_eq!(sim.eval(&bits, &[])[0], bits[2]);
+        }
+    }
+
+    #[test]
+    fn and_with_complement_folds_to_false() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a").unwrap();
+        let na = nl.add_gate("na", GateKind::Not, &[a]).unwrap();
+        let g = nl.add_gate("g", GateKind::And, &[a, na]).unwrap();
+        nl.mark_output(g).unwrap();
+        let (s, _) = simplify(&nl).unwrap();
+        assert_eq!(s.num_gates(), 0);
+        let mut sim = Simulator::new(&s).unwrap();
+        assert_eq!(sim.eval(&[true], &[]), vec![false]);
+        assert_eq!(sim.eval(&[false], &[]), vec![false]);
+    }
+
+    #[test]
+    fn xor_cancellation() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        // a ⊕ b ⊕ a = b
+        let g = nl.add_gate("g", GateKind::Xor, &[a, b, a]).unwrap();
+        nl.mark_output(g).unwrap();
+        let (s, _) = simplify(&nl).unwrap();
+        assert_eq!(s.num_gates(), 0);
+        assert_equivalent(&nl, &s);
+    }
+
+    #[test]
+    fn xnor_with_complement() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let na = nl.add_gate("na", GateKind::Not, &[a]).unwrap();
+        // Xnor(a, ¬a, b) = ¬(a ⊕ ¬a ⊕ b) = ¬(1 ⊕ b) = b
+        let g = nl.add_gate("g", GateKind::Xnor, &[a, na, b]).unwrap();
+        nl.mark_output(g).unwrap();
+        let (s, _) = simplify(&nl).unwrap();
+        assert_equivalent(&nl, &s);
+        assert_eq!(s.num_gates(), 0);
+    }
+
+    #[test]
+    fn mux_folds() {
+        // Mux with constant select folds away entirely.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let one = nl.add_const("one", true).unwrap();
+        let m = nl.add_gate("m", GateKind::Mux, &[one, a, b]).unwrap();
+        nl.mark_output(m).unwrap();
+        let (s, _) = simplify(&nl).unwrap();
+        assert_eq!(s.num_gates(), 0);
+        let mut sim = Simulator::new(&s).unwrap();
+        assert_eq!(sim.eval(&[false, true], &[]), vec![true], "selects b");
+    }
+
+    #[test]
+    fn mux_of_complements_becomes_xor() {
+        let mut nl = Netlist::new("t");
+        let s = nl.add_input("s").unwrap();
+        let x = nl.add_input("x").unwrap();
+        let nx = nl.add_gate("nx", GateKind::Not, &[x]).unwrap();
+        let m = nl.add_gate("m", GateKind::Mux, &[s, x, nx]).unwrap();
+        nl.mark_output(m).unwrap();
+        let (simp, _) = simplify(&nl).unwrap();
+        assert_equivalent(&nl, &simp);
+        assert_eq!(simp.num_gates(), 1, "one Xor gate");
+    }
+
+    #[test]
+    fn outputs_sharing_a_driver_stay_distinct_ports() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let g1 = nl.add_gate("g1", GateKind::And, &[a, b]).unwrap();
+        let g2 = nl.add_gate("g2", GateKind::And, &[b, a]).unwrap(); // merges with g1
+        nl.mark_output(g1).unwrap();
+        nl.mark_output(g2).unwrap();
+        let (s, _) = simplify(&nl).unwrap();
+        assert_eq!(s.outputs().len(), 2);
+        assert_equivalent(&nl, &s);
+    }
+
+    #[test]
+    fn constant_output_materialized() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a").unwrap();
+        let na = nl.add_gate("na", GateKind::Not, &[a]).unwrap();
+        let g = nl.add_gate("g", GateKind::Or, &[a, na]).unwrap();
+        nl.mark_output(g).unwrap();
+        let (s, _) = simplify(&nl).unwrap();
+        assert_eq!(s.outputs().len(), 1);
+        let mut sim = Simulator::new(&s).unwrap();
+        assert_eq!(sim.eval(&[false], &[]), vec![true]);
+    }
+
+    #[test]
+    fn interface_order_is_preserved() {
+        let nl = example();
+        let (s, _) = simplify(&nl).unwrap();
+        for (x, y) in nl.inputs().iter().zip(s.inputs()) {
+            assert_eq!(nl.node_name(*x), s.node_name(*y));
+        }
+    }
+}
+
+#[cfg(test)]
+mod pin_keys_tests {
+    use super::*;
+    use crate::sim::{bits_of, Simulator};
+
+    #[test]
+    fn pin_keys_removes_key_ports() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a").unwrap();
+        let k0 = nl.add_key_input("k0").unwrap();
+        let k1 = nl.add_key_input("k1").unwrap();
+        let x = nl.add_gate("x", GateKind::Xor, &[a, k0]).unwrap();
+        let y = nl.add_gate("y", GateKind::Xnor, &[x, k1]).unwrap();
+        nl.mark_output(y).unwrap();
+
+        let keyed = pin_keys(&nl, &[true, false]).unwrap();
+        assert!(keyed.key_inputs().is_empty());
+        assert_eq!(keyed.inputs().len(), 1);
+        let mut orig = Simulator::new(&nl).unwrap();
+        let mut pinned = Simulator::new(&keyed).unwrap();
+        for v in 0..2u64 {
+            let bits = bits_of(v, 1);
+            assert_eq!(pinned.eval(&bits, &[]), orig.eval(&bits, &[true, false]));
+        }
+    }
+
+    #[test]
+    fn pin_keys_checks_width() {
+        let mut nl = Netlist::new("t");
+        let _ = nl.add_input("a").unwrap();
+        let _ = nl.add_key_input("k0").unwrap();
+        assert!(matches!(pin_keys(&nl, &[]), Err(NetlistError::BadArity { .. })));
+    }
+
+    #[test]
+    fn pin_keys_then_simplify_sweeps_key_logic() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a").unwrap();
+        let k = nl.add_key_input("k").unwrap();
+        let x = nl.add_gate("x", GateKind::Xor, &[a, k]).unwrap();
+        nl.mark_output(x).unwrap();
+        let keyed = pin_keys(&nl, &[false]).unwrap();
+        let (simp, _) = simplify(&keyed).unwrap();
+        // Xor with constant 0 folds to a plain wire.
+        assert_eq!(simp.num_gates(), 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests over random netlists: simplification and I/O
+//! round-trips must preserve circuit function.
+
+use proptest::prelude::*;
+
+use polykey_netlist::{
+    bits_of, cofactor, cofactor_simplify, parse_bench, simplify, write_bench, GateKind, Netlist,
+    NodeId, Simulator,
+};
+
+/// A recipe for one random gate.
+#[derive(Clone, Debug)]
+struct GateRecipe {
+    kind_sel: u8,
+    fanin_picks: Vec<u16>,
+}
+
+/// Builds a random combinational netlist from recipes: every gate reads
+/// already-existing nodes, so the result is a DAG by construction.
+fn build_random(num_inputs: usize, recipes: &[GateRecipe], num_outputs: usize) -> Netlist {
+    let mut nl = Netlist::new("rand");
+    let mut pool: Vec<NodeId> = Vec::new();
+    for i in 0..num_inputs {
+        pool.push(nl.add_input(format!("i{i}")).expect("fresh"));
+    }
+    for (g, recipe) in recipes.iter().enumerate() {
+        let kind = match recipe.kind_sel % 9 {
+            0 => GateKind::And,
+            1 => GateKind::Nand,
+            2 => GateKind::Or,
+            3 => GateKind::Nor,
+            4 => GateKind::Xor,
+            5 => GateKind::Xnor,
+            6 => GateKind::Not,
+            7 => GateKind::Buf,
+            _ => GateKind::Mux,
+        };
+        let arity = kind.arity().unwrap_or(2 + (recipe.kind_sel as usize / 16) % 2);
+        let fanins: Vec<NodeId> = (0..arity)
+            .map(|k| {
+                let pick = recipe.fanin_picks.get(k).copied().unwrap_or(0) as usize;
+                pool[pick % pool.len()]
+            })
+            .collect();
+        let id = nl.add_gate(format!("g{g}"), kind, &fanins).expect("valid gate");
+        pool.push(id);
+    }
+    let n = pool.len();
+    for o in 0..num_outputs.min(n) {
+        // Prefer late nodes as outputs to get deep cones.
+        let id = pool[n - 1 - o];
+        nl.mark_output(id).expect("distinct outputs");
+    }
+    nl
+}
+
+fn arb_netlist() -> impl Strategy<Value = Netlist> {
+    let recipe = (any::<u8>(), proptest::collection::vec(any::<u16>(), 3))
+        .prop_map(|(kind_sel, fanin_picks)| GateRecipe { kind_sel, fanin_picks });
+    (2usize..6, proptest::collection::vec(recipe, 1..40), 1usize..4)
+        .prop_map(|(inputs, recipes, outputs)| build_random(inputs, &recipes, outputs))
+}
+
+/// Exhaustive equivalence check for netlists with ≤ 12 input bits.
+fn equivalent(a: &Netlist, b: &Netlist) -> bool {
+    let ni = a.inputs().len();
+    assert!(ni <= 12);
+    assert_eq!(b.inputs().len(), ni);
+    let mut sa = Simulator::new(a).expect("acyclic");
+    let mut sb = Simulator::new(b).expect("acyclic");
+    (0..(1u64 << ni)).all(|v| {
+        let bits = bits_of(v, ni);
+        sa.eval(&bits, &[]) == sb.eval(&bits, &[])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn simplify_preserves_function(nl in arb_netlist()) {
+        let (simp, stats) = simplify(&nl).expect("acyclic by construction");
+        prop_assert!(equivalent(&nl, &simp));
+        prop_assert!(stats.nodes_after <= stats.nodes_before + nl.outputs().len(),
+            "simplification may only add output buffers");
+        simp.validate().expect("simplified netlist is well-formed");
+    }
+
+    #[test]
+    fn simplify_is_idempotent(nl in arb_netlist()) {
+        let (s1, _) = simplify(&nl).expect("acyclic");
+        let (s2, _) = simplify(&s1).expect("acyclic");
+        prop_assert_eq!(s1.num_nodes(), s2.num_nodes());
+        prop_assert!(equivalent(&s1, &s2));
+    }
+
+    #[test]
+    fn bench_round_trip_preserves_function(nl in arb_netlist()) {
+        let mut text = Vec::new();
+        write_bench(&mut text, &nl).expect("write");
+        let parsed = parse_bench(&text[..], nl.name()).expect("parse back");
+        prop_assert!(equivalent(&nl, &parsed));
+        prop_assert_eq!(nl.num_gates(), parsed.num_gates());
+    }
+
+    #[test]
+    fn cofactor_matches_forced_simulation(nl in arb_netlist(), pin_bits in any::<u8>()) {
+        let ni = nl.inputs().len();
+        // Pin the first input to a value derived from pin_bits.
+        let pin_value = pin_bits & 1 == 1;
+        let target = nl.inputs()[0];
+        let cof = cofactor(&nl, &[(target, pin_value)]).expect("valid pin");
+        let (cs, _) = cofactor_simplify(&nl, &[(target, pin_value)]).expect("valid pin");
+
+        let mut orig = Simulator::new(&nl).expect("acyclic");
+        let mut pinned = Simulator::new(&cof).expect("acyclic");
+        let mut simped = Simulator::new(&cs).expect("acyclic");
+        for v in 0..(1u64 << ni) {
+            let bits = bits_of(v, ni);
+            let mut forced = bits.clone();
+            forced[0] = pin_value;
+            let want = orig.eval(&forced, &[]);
+            prop_assert_eq!(&pinned.eval(&bits, &[]), &want);
+            prop_assert_eq!(&simped.eval(&bits, &[]), &want);
+        }
+    }
+
+    #[test]
+    fn packed_simulation_matches_scalar(nl in arb_netlist(), seed in any::<u64>()) {
+        let ni = nl.inputs().len();
+        let mut sim = Simulator::new(&nl).expect("acyclic");
+        // 64 pseudo-random patterns driven from the seed.
+        let mut state = seed | 1;
+        let mut patterns: Vec<Vec<bool>> = Vec::with_capacity(64);
+        for _ in 0..64 {
+            let mut bits = Vec::with_capacity(ni);
+            for _ in 0..ni {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                bits.push(state >> 63 == 1);
+            }
+            patterns.push(bits);
+        }
+        let packed = polykey_netlist::pack_patterns(&patterns, ni);
+        let packed_out = sim.eval_packed(&packed, &[]);
+        for (p, pattern) in patterns.iter().enumerate() {
+            let scalar = sim.eval(pattern, &[]);
+            for (o, &w) in packed_out.iter().enumerate() {
+                prop_assert_eq!(w >> p & 1 == 1, scalar[o]);
+            }
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! A plain CNF formula container and the sink trait shared with the solver.
+
+use crate::lit::{Lit, Var};
+use crate::solver::Solver;
+
+/// A sink for CNF: anything that can allocate variables and receive clauses.
+///
+/// Both [`Solver`] (solve as you encode) and [`CnfFormula`] (build a formula
+/// to inspect, write out, or solve later) implement this, so encoders — such
+/// as the Tseitin encoder in `polykey-encode` — can target either.
+pub trait ClauseSink {
+    /// Allocates a fresh variable.
+    fn new_var(&mut self) -> Var;
+
+    /// Adds a clause over previously allocated variables.
+    fn add_clause(&mut self, lits: &[Lit]);
+
+    /// Allocates `n` fresh variables and returns them in order.
+    fn new_vars(&mut self, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+}
+
+impl ClauseSink for Solver {
+    fn new_var(&mut self) -> Var {
+        Solver::new_var(self)
+    }
+
+    fn add_clause(&mut self, lits: &[Lit]) {
+        Solver::add_clause(self, lits);
+    }
+}
+
+/// A CNF formula: a clause list plus a variable count.
+///
+/// # Examples
+///
+/// ```
+/// use polykey_sat::{ClauseSink, CnfFormula};
+///
+/// let mut f = CnfFormula::new();
+/// let a = f.new_var().positive();
+/// let b = f.new_var().positive();
+/// f.add_clause(&[a, b]);
+/// f.add_clause(&[!a]);
+/// assert_eq!(f.num_vars(), 2);
+/// assert_eq!(f.num_clauses(), 2);
+/// assert_eq!(f.eval(&[false, true]), Some(true));
+/// assert_eq!(f.eval(&[true, true]), Some(false));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CnfFormula {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl CnfFormula {
+    /// Creates an empty formula.
+    pub fn new() -> CnfFormula {
+        CnfFormula::default()
+    }
+
+    /// Number of variables allocated (or implied by added clauses).
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Total number of literal occurrences.
+    pub fn num_lits(&self) -> usize {
+        self.clauses.iter().map(Vec::len).sum()
+    }
+
+    /// Iterates over the clauses.
+    pub fn clauses(&self) -> impl Iterator<Item = &[Lit]> {
+        self.clauses.iter().map(Vec::as_slice)
+    }
+
+    /// Grows the variable count to at least `n`.
+    pub fn set_num_vars(&mut self, n: usize) {
+        self.num_vars = self.num_vars.max(n);
+    }
+
+    /// Evaluates the formula under a full assignment (`assignment[i]` is the
+    /// value of variable `i`). Returns `None` if the assignment is too short.
+    pub fn eval(&self, assignment: &[bool]) -> Option<bool> {
+        if assignment.len() < self.num_vars {
+            return None;
+        }
+        for clause in &self.clauses {
+            let sat = clause.iter().any(|l| l.apply(assignment[l.var().index()]));
+            if !sat {
+                return Some(false);
+            }
+        }
+        Some(true)
+    }
+
+    /// Loads every clause into a fresh solver and returns it.
+    pub fn to_solver(&self) -> Solver {
+        let mut solver = Solver::new();
+        for _ in 0..self.num_vars {
+            solver.new_var();
+        }
+        for clause in &self.clauses {
+            solver.add_clause(clause);
+        }
+        solver
+    }
+
+    /// Exhaustively counts satisfying assignments. Intended for tests on
+    /// small formulas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formula has more than 24 variables.
+    pub fn count_models_brute_force(&self) -> u64 {
+        assert!(self.num_vars <= 24, "brute force limited to 24 variables");
+        let mut count = 0;
+        let mut assignment = vec![false; self.num_vars];
+        for bits in 0..(1u64 << self.num_vars) {
+            for (i, a) in assignment.iter_mut().enumerate() {
+                *a = bits >> i & 1 == 1;
+            }
+            if self.eval(&assignment) == Some(true) {
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+impl ClauseSink for CnfFormula {
+    fn new_var(&mut self) -> Var {
+        let v = Var::new(self.num_vars as u32);
+        self.num_vars += 1;
+        v
+    }
+
+    fn add_clause(&mut self, lits: &[Lit]) {
+        for l in lits {
+            self.num_vars = self.num_vars.max(l.var().index() + 1);
+        }
+        self.clauses.push(lits.to_vec());
+    }
+}
+
+impl Extend<Vec<Lit>> for CnfFormula {
+    fn extend<T: IntoIterator<Item = Vec<Lit>>>(&mut self, iter: T) {
+        for clause in iter {
+            self.add_clause(&clause);
+        }
+    }
+}
+
+impl FromIterator<Vec<Lit>> for CnfFormula {
+    fn from_iter<T: IntoIterator<Item = Vec<Lit>>>(iter: T) -> CnfFormula {
+        let mut f = CnfFormula::new();
+        f.extend(iter);
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    fn lit(d: i32) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    #[test]
+    fn formula_construction() {
+        let mut f = CnfFormula::new();
+        f.add_clause(&[lit(1), lit(-3)]);
+        assert_eq!(f.num_vars(), 3);
+        assert_eq!(f.num_clauses(), 1);
+        assert_eq!(f.num_lits(), 2);
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let f: CnfFormula =
+            vec![vec![lit(1), lit(2)], vec![lit(-1), lit(2)]].into_iter().collect();
+        assert_eq!(f.eval(&[true, true]), Some(true));
+        assert_eq!(f.eval(&[true, false]), Some(false));
+        assert_eq!(f.eval(&[false, false]), Some(false));
+        assert_eq!(f.eval(&[false]), None);
+    }
+
+    #[test]
+    fn to_solver_round_trip() {
+        let f: CnfFormula =
+            vec![vec![lit(1), lit(2)], vec![lit(-1)], vec![lit(-2), lit(3)]].into_iter().collect();
+        let mut s = f.to_solver();
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.model_value(lit(1)), Some(false));
+        assert_eq!(s.model_value(lit(2)), Some(true));
+        assert_eq!(s.model_value(lit(3)), Some(true));
+    }
+
+    #[test]
+    fn brute_force_count() {
+        // x1 ∨ x2 has 3 models over 2 vars.
+        let f: CnfFormula = vec![vec![lit(1), lit(2)]].into_iter().collect();
+        assert_eq!(f.count_models_brute_force(), 3);
+        // Empty formula over 0 vars has exactly one (empty) model.
+        let empty = CnfFormula::new();
+        assert_eq!(empty.count_models_brute_force(), 1);
+    }
+
+    #[test]
+    fn sink_vars_are_dense() {
+        let mut f = CnfFormula::new();
+        let vars = f.new_vars(4);
+        assert_eq!(vars.len(), 4);
+        for (i, v) in vars.iter().enumerate() {
+            assert_eq!(v.index(), i);
+        }
+        assert_eq!(f.num_vars(), 4);
+    }
+}

@@ -1,0 +1,326 @@
+//! Propositional variables, literals and the three-valued assignment domain.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, numbered densely from 0.
+///
+/// Variables are created by [`Solver::new_var`](crate::Solver::new_var) or
+/// [`CnfFormula::new_var`](crate::CnfFormula::new_var) and are only meaningful
+/// with respect to the formula or solver that created them.
+///
+/// # Examples
+///
+/// ```
+/// use polykey_sat::{Lit, Var};
+///
+/// let v = Var::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(v.positive(), Lit::new(v, false));
+/// assert_eq!(!v.positive(), v.negative());
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable with the given 0-based index.
+    #[inline]
+    pub const fn new(index: u32) -> Var {
+        Var(index)
+    }
+
+    /// Returns the 0-based index of this variable.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the positive literal of this variable.
+    #[inline]
+    pub const fn positive(self) -> Lit {
+        Lit::new(self, false)
+    }
+
+    /// Returns the negative literal of this variable.
+    #[inline]
+    pub const fn negative(self) -> Lit {
+        Lit::new(self, true)
+    }
+
+    /// Returns the literal of this variable with the given sign.
+    ///
+    /// `lit(true)` is the positive literal, matching the convention that a
+    /// literal "is true" when its variable is assigned that sign.
+    #[inline]
+    pub const fn lit(self, value: bool) -> Lit {
+        Lit::new(self, !value)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+///
+/// Encoded as `2 * var + negated`, the packing used by most CDCL solvers so
+/// that a literal indexes watch lists directly.
+///
+/// # Examples
+///
+/// ```
+/// use polykey_sat::{Lit, Var};
+///
+/// let a = Var::new(0).positive();
+/// assert!(!a.is_negated());
+/// assert!((!a).is_negated());
+/// assert_eq!(a.to_dimacs(), 1);
+/// assert_eq!(Lit::from_dimacs(-2), Var::new(1).negative());
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal over `var`, negated if `negated` is true.
+    #[inline]
+    pub const fn new(var: Var, negated: bool) -> Lit {
+        Lit(var.0 << 1 | negated as u32)
+    }
+
+    /// Returns the variable underlying this literal.
+    #[inline]
+    pub const fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns true if this is a negated (negative) literal.
+    #[inline]
+    pub const fn is_negated(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns the dense code of this literal (`2 * var + negated`),
+    /// suitable for indexing per-literal tables such as watch lists.
+    #[inline]
+    pub const fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from its [`code`](Lit::code).
+    #[inline]
+    pub const fn from_code(code: usize) -> Lit {
+        Lit(code as u32)
+    }
+
+    /// Converts a non-zero DIMACS integer (`±(var+1)`) to a literal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is zero.
+    #[inline]
+    pub fn from_dimacs(value: i32) -> Lit {
+        assert!(value != 0, "DIMACS literals are non-zero");
+        let var = Var(value.unsigned_abs() - 1);
+        Lit::new(var, value < 0)
+    }
+
+    /// Converts this literal to its DIMACS integer representation.
+    #[inline]
+    pub const fn to_dimacs(self) -> i32 {
+        let v = (self.0 >> 1) as i32 + 1;
+        if self.0 & 1 == 1 {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Returns the value this literal takes when its variable is assigned
+    /// `value`: the variable's value, flipped if the literal is negated.
+    #[inline]
+    pub const fn apply(self, value: bool) -> bool {
+        value ^ (self.0 & 1 == 1)
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl From<Var> for Lit {
+    #[inline]
+    fn from(var: Var) -> Lit {
+        var.positive()
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negated() {
+            write!(f, "¬{}", self.var())
+        } else {
+            write!(f, "{}", self.var())
+        }
+    }
+}
+
+/// A value in the three-valued assignment domain: true, false or unassigned.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum LBool {
+    /// Assigned false.
+    False,
+    /// Assigned true.
+    True,
+    /// Not assigned.
+    #[default]
+    Undef,
+}
+
+impl LBool {
+    /// Converts a `bool` into the corresponding defined value.
+    #[inline]
+    pub const fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// Returns `Some(bool)` for defined values, `None` for `Undef`.
+    #[inline]
+    pub const fn to_bool(self) -> Option<bool> {
+        match self {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+
+    /// True iff this value is [`LBool::Undef`].
+    #[inline]
+    pub const fn is_undef(self) -> bool {
+        matches!(self, LBool::Undef)
+    }
+
+    /// Flips defined values; `Undef` stays `Undef`.
+    #[inline]
+    pub const fn negate(self) -> LBool {
+        match self {
+            LBool::True => LBool::False,
+            LBool::False => LBool::True,
+            LBool::Undef => LBool::Undef,
+        }
+    }
+
+    /// Applies a literal's sign: flips the value if `negated` is true.
+    #[inline]
+    pub const fn xor(self, negated: bool) -> LBool {
+        if negated {
+            self.negate()
+        } else {
+            self
+        }
+    }
+}
+
+impl fmt::Display for LBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LBool::True => write!(f, "1"),
+            LBool::False => write!(f, "0"),
+            LBool::Undef => write!(f, "?"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_literal_round_trip() {
+        for i in 0..100u32 {
+            let v = Var::new(i);
+            assert_eq!(v.positive().var(), v);
+            assert_eq!(v.negative().var(), v);
+            assert!(!v.positive().is_negated());
+            assert!(v.negative().is_negated());
+        }
+    }
+
+    #[test]
+    fn negation_is_involutive() {
+        let l = Var::new(7).negative();
+        assert_eq!(!!l, l);
+        assert_ne!(!l, l);
+        assert_eq!((!l).var(), l.var());
+    }
+
+    #[test]
+    fn lit_codes_are_dense() {
+        let a = Var::new(0);
+        let b = Var::new(1);
+        assert_eq!(a.positive().code(), 0);
+        assert_eq!(a.negative().code(), 1);
+        assert_eq!(b.positive().code(), 2);
+        assert_eq!(b.negative().code(), 3);
+        assert_eq!(Lit::from_code(3), b.negative());
+    }
+
+    #[test]
+    fn dimacs_round_trip() {
+        for i in [1, -1, 2, -2, 17, -129] {
+            assert_eq!(Lit::from_dimacs(i).to_dimacs(), i);
+        }
+        assert_eq!(Lit::from_dimacs(1), Var::new(0).positive());
+        assert_eq!(Lit::from_dimacs(-3), Var::new(2).negative());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn dimacs_zero_panics() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn lbool_algebra() {
+        assert_eq!(LBool::from_bool(true), LBool::True);
+        assert_eq!(LBool::from_bool(false), LBool::False);
+        assert_eq!(LBool::True.negate(), LBool::False);
+        assert_eq!(LBool::Undef.negate(), LBool::Undef);
+        assert_eq!(LBool::True.xor(true), LBool::False);
+        assert_eq!(LBool::False.xor(true), LBool::True);
+        assert_eq!(LBool::Undef.xor(true), LBool::Undef);
+        assert_eq!(LBool::True.to_bool(), Some(true));
+        assert_eq!(LBool::Undef.to_bool(), None);
+        assert!(LBool::Undef.is_undef());
+    }
+
+    #[test]
+    fn var_lit_sign_convention() {
+        let v = Var::new(4);
+        assert_eq!(v.lit(true), v.positive());
+        assert_eq!(v.lit(false), v.negative());
+        // A positive literal applied to a true assignment is true.
+        assert!(v.positive().apply(true));
+        assert!(!v.negative().apply(true));
+        assert!(v.negative().apply(false));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Var::new(2).to_string(), "x2");
+        assert_eq!(Var::new(2).positive().to_string(), "x2");
+        assert_eq!(Var::new(2).negative().to_string(), "¬x2");
+        assert_eq!(LBool::True.to_string(), "1");
+        assert_eq!(LBool::Undef.to_string(), "?");
+    }
+}

@@ -1,0 +1,521 @@
+//! CNF preprocessing: SatELite-style simplification.
+//!
+//! Implements the classic inprocessing trio on a [`CnfFormula`]:
+//!
+//! - **unit propagation** to fixpoint (with conflict detection),
+//! - **subsumption** (drop clauses that are supersets of others) and
+//!   **self-subsuming resolution** (strengthen clauses by resolving away
+//!   one literal against an almost-subsuming clause),
+//! - **bounded variable elimination** (resolve out variables whose
+//!   resolvent set is no larger than the clauses removed).
+//!
+//! Eliminated variables disappear from the formula but satisfying
+//! assignments can be *reconstructed*: [`PreprocessResult::extend_model`]
+//! replays the elimination stack in reverse, choosing values that satisfy
+//! the removed clauses (Eén & Biere, SAT'05).
+//!
+//! The attack pipeline does not preprocess by default (its formulas are
+//! built incrementally), but the preprocessor is exposed for offline use
+//! and for shrinking DIMACS instances.
+
+use std::collections::HashSet;
+
+use crate::cnf::{ClauseSink, CnfFormula};
+use crate::lit::{Lit, Var};
+
+/// Limits for the preprocessor.
+#[derive(Copy, Clone, Debug)]
+pub struct PreprocessConfig {
+    /// Skip elimination of variables occurring more often than this.
+    pub max_occurrences: usize,
+    /// Allow elimination only if it does not grow the clause count.
+    pub max_growth: isize,
+    /// Maximum resolvent length to accept during elimination.
+    pub max_resolvent_len: usize,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> PreprocessConfig {
+        PreprocessConfig { max_occurrences: 20, max_growth: 0, max_resolvent_len: 12 }
+    }
+}
+
+/// The outcome of preprocessing.
+#[derive(Clone, Debug)]
+pub struct PreprocessResult {
+    /// The simplified formula (same variable numbering; eliminated
+    /// variables simply no longer occur).
+    pub formula: CnfFormula,
+    /// `Some(false)` if the formula was proved unsatisfiable outright.
+    pub verdict: Option<bool>,
+    /// Values forced by unit propagation (variable, value).
+    pub fixed: Vec<(Var, bool)>,
+    /// Elimination stack for model reconstruction: `(var, clauses)` pushed
+    /// in elimination order.
+    eliminated: Vec<(Var, Vec<Vec<Lit>>)>,
+}
+
+impl PreprocessResult {
+    /// Extends a model of the simplified formula to a model of the
+    /// original formula, assigning eliminated and fixed variables.
+    ///
+    /// `model[i]` is the value of variable `i`; entries for eliminated
+    /// variables are overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is shorter than the formula's variable count.
+    pub fn extend_model(&self, model: &mut [bool]) {
+        for &(v, b) in &self.fixed {
+            model[v.index()] = b;
+        }
+        // Replay eliminations newest-first: each eliminated variable's
+        // removed clauses must be satisfied; set the variable accordingly.
+        for (v, clauses) in self.eliminated.iter().rev() {
+            // Default: false. If some removed clause is unsatisfied and
+            // contains v positively, flip to true (the resolution property
+            // guarantees one polarity works).
+            let mut value = false;
+            for clause in clauses {
+                let satisfied_without_v = clause
+                    .iter()
+                    .any(|l| l.var() != *v && l.apply(model[l.var().index()]));
+                if !satisfied_without_v {
+                    let needs = clause
+                        .iter()
+                        .find(|l| l.var() == *v)
+                        .expect("clause mentions its pivot");
+                    value = !needs.is_negated();
+                }
+            }
+            model[v.index()] = value;
+            // Re-check: all clauses must now hold.
+            debug_assert!(clauses.iter().all(|c| c
+                .iter()
+                .any(|l| l.apply(model[l.var().index()]))));
+        }
+    }
+
+    /// Number of variables eliminated.
+    pub fn num_eliminated(&self) -> usize {
+        self.eliminated.len()
+    }
+}
+
+/// A 64-bit clause signature: bit `v mod 64` set for each variable.
+/// `sig(a) & !sig(b) != 0` proves `a ⊄ b`.
+fn signature(clause: &[Lit]) -> u64 {
+    clause.iter().fold(0u64, |acc, l| acc | 1 << (l.var().index() % 64))
+}
+
+/// Preprocesses a formula. See the module docs for the transformations.
+///
+/// # Examples
+///
+/// ```
+/// use polykey_sat::{preprocess, CnfFormula, ClauseSink, PreprocessConfig};
+///
+/// let mut f = CnfFormula::new();
+/// let a = f.new_var().positive();
+/// let b = f.new_var().positive();
+/// f.add_clause(&[a]);            // unit
+/// f.add_clause(&[!a, b]);        // propagates b
+/// let result = preprocess(&f, &PreprocessConfig::default());
+/// assert_eq!(result.verdict, None);
+/// assert_eq!(result.formula.num_clauses(), 0, "everything propagated away");
+/// assert_eq!(result.fixed.len(), 2);
+/// ```
+pub fn preprocess(formula: &CnfFormula, config: &PreprocessConfig) -> PreprocessResult {
+    let num_vars = formula.num_vars();
+    // Working clause set; None = deleted.
+    let mut clauses: Vec<Option<Vec<Lit>>> = Vec::with_capacity(formula.num_clauses());
+    'next: for clause in formula.clauses() {
+        let mut c: Vec<Lit> = clause.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        for w in c.windows(2) {
+            if w[0] == !w[1] {
+                continue 'next; // tautology
+            }
+        }
+        clauses.push(Some(c));
+    }
+
+    let mut result = PreprocessResult {
+        formula: CnfFormula::new(),
+        verdict: None,
+        fixed: Vec::new(),
+        eliminated: Vec::new(),
+    };
+    let mut assign: Vec<Option<bool>> = vec![None; num_vars];
+
+    // --- Unit propagation to fixpoint -------------------------------
+    loop {
+        let mut changed = false;
+        for i in 0..clauses.len() {
+            let Some(c) = clauses[i].clone() else { continue };
+            let mut remaining: Vec<Lit> = Vec::with_capacity(c.len());
+            let mut satisfied = false;
+            for &l in &c {
+                match assign[l.var().index()] {
+                    Some(b) if l.apply(b) => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => remaining.push(l),
+                }
+            }
+            if satisfied {
+                clauses[i] = None;
+                changed = true;
+                continue;
+            }
+            match remaining.len() {
+                0 => {
+                    result.verdict = Some(false);
+                    return result;
+                }
+                1 => {
+                    let l = remaining[0];
+                    assign[l.var().index()] = Some(!l.is_negated());
+                    result.fixed.push((l.var(), !l.is_negated()));
+                    clauses[i] = None;
+                    changed = true;
+                }
+                _ if remaining.len() < c.len() => {
+                    clauses[i] = Some(remaining);
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // --- Subsumption + self-subsuming resolution ---------------------
+    subsume_all(&mut clauses);
+
+    // --- Bounded variable elimination --------------------------------
+    let mut frozen: HashSet<usize> = HashSet::new();
+    for &(v, _) in &result.fixed {
+        frozen.insert(v.index());
+    }
+    let mut eliminated_vars: HashSet<usize> = HashSet::new();
+    loop {
+        let mut occ_pos: Vec<Vec<usize>> = vec![Vec::new(); num_vars];
+        let mut occ_neg: Vec<Vec<usize>> = vec![Vec::new(); num_vars];
+        for (i, c) in clauses.iter().enumerate() {
+            if let Some(c) = c {
+                for l in c {
+                    if l.is_negated() {
+                        occ_neg[l.var().index()].push(i);
+                    } else {
+                        occ_pos[l.var().index()].push(i);
+                    }
+                }
+            }
+        }
+        let mut any = false;
+        for v in 0..num_vars {
+            if frozen.contains(&v) || eliminated_vars.contains(&v) {
+                continue;
+            }
+            let pos = &occ_pos[v];
+            let neg = &occ_neg[v];
+            if pos.is_empty() && neg.is_empty() {
+                continue;
+            }
+            if pos.len() + neg.len() > config.max_occurrences {
+                continue;
+            }
+            // Build all resolvents on v.
+            let mut resolvents: Vec<Vec<Lit>> = Vec::new();
+            let mut too_big = false;
+            'pairs: for &pi in pos {
+                for &ni in neg {
+                    let (Some(pc), Some(nc)) = (&clauses[pi], &clauses[ni]) else {
+                        continue;
+                    };
+                    let Some(r) = resolve(pc, nc, Var::new(v as u32)) else {
+                        continue; // tautological resolvent
+                    };
+                    if r.len() > config.max_resolvent_len {
+                        too_big = true;
+                        break 'pairs;
+                    }
+                    resolvents.push(r);
+                }
+            }
+            if too_big {
+                continue;
+            }
+            let removed = pos.len() + neg.len();
+            if resolvents.len() as isize - removed as isize > config.max_growth {
+                continue;
+            }
+            // Commit: record removed clauses for reconstruction, delete
+            // them, add resolvents.
+            let mut removed_clauses = Vec::with_capacity(removed);
+            for &i in pos.iter().chain(neg) {
+                if let Some(c) = clauses[i].take() {
+                    removed_clauses.push(c);
+                }
+            }
+            result.eliminated.push((Var::new(v as u32), removed_clauses));
+            eliminated_vars.insert(v);
+            for r in resolvents {
+                clauses.push(Some(r));
+            }
+            any = true;
+            // Occurrence lists are stale now; restart the scan.
+            break;
+        }
+        if !any {
+            break;
+        }
+        subsume_all(&mut clauses);
+    }
+
+    result.formula.set_num_vars(num_vars);
+    for c in clauses.into_iter().flatten() {
+        result.formula.add_clause(&c);
+    }
+    result
+}
+
+/// Resolves two clauses on pivot `v`; `None` if the resolvent is a
+/// tautology.
+fn resolve(pos: &[Lit], neg: &[Lit], v: Var) -> Option<Vec<Lit>> {
+    let mut r: Vec<Lit> =
+        pos.iter().chain(neg.iter()).copied().filter(|l| l.var() != v).collect();
+    r.sort_unstable();
+    r.dedup();
+    for w in r.windows(2) {
+        if w[0] == !w[1] {
+            return None;
+        }
+    }
+    Some(r)
+}
+
+/// Forward subsumption and self-subsuming resolution over the clause set.
+fn subsume_all(clauses: &mut [Option<Vec<Lit>>]) {
+    // Sort indices by length so subsumers come first.
+    let mut order: Vec<usize> = (0..clauses.len()).filter(|&i| clauses[i].is_some()).collect();
+    order.sort_by_key(|&i| clauses[i].as_ref().map(Vec::len));
+    let sigs: Vec<u64> =
+        clauses.iter().map(|c| c.as_ref().map(|c| signature(c)).unwrap_or(0)).collect();
+    for (k, &i) in order.iter().enumerate() {
+        let Some(ci) = clauses[i].clone() else { continue };
+        let sig_i = sigs[i];
+        for &j in &order[k + 1..] {
+            if i == j {
+                continue;
+            }
+            let Some(cj) = &clauses[j] else { continue };
+            if cj.len() < ci.len() {
+                continue;
+            }
+            if sig_i & !signature(cj) != 0 {
+                continue; // signature filter: ci has a var cj lacks
+            }
+            match subsumes(&ci, cj) {
+                Subsume::Subsumed => {
+                    clauses[j] = None;
+                }
+                Subsume::Strengthen(l) => {
+                    // Self-subsuming resolution: remove ¬l from cj.
+                    let mut stronger = cj.clone();
+                    stronger.retain(|&x| x != !l);
+                    clauses[j] = Some(stronger);
+                }
+                Subsume::No => {}
+            }
+        }
+    }
+}
+
+enum Subsume {
+    /// `a ⊆ b`: b is redundant.
+    Subsumed,
+    /// `a \ {l} ⊆ b` and `¬l ∈ b`: b can drop ¬l.
+    Strengthen(Lit),
+    No,
+}
+
+/// Checks subsumption of sorted clause `a` against clause `b`.
+fn subsumes(a: &[Lit], b: &[Lit]) -> Subsume {
+    let mut flipped: Option<Lit> = None;
+    for &l in a {
+        if b.contains(&l) {
+            continue;
+        }
+        if b.contains(&!l) && flipped.is_none() {
+            flipped = Some(l);
+            continue;
+        }
+        return Subsume::No;
+    }
+    match flipped {
+        None => Subsume::Subsumed,
+        Some(l) => Subsume::Strengthen(l),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    fn lit(d: i32) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    fn formula(clauses: &[&[i32]], vars: usize) -> CnfFormula {
+        let mut f = CnfFormula::new();
+        f.set_num_vars(vars);
+        for c in clauses {
+            let c: Vec<Lit> = c.iter().map(|&d| lit(d)).collect();
+            f.add_clause(&c);
+        }
+        f
+    }
+
+    /// Equisatisfiability + model reconstruction check by brute force.
+    fn check_preserves_sat(f: &CnfFormula) {
+        let before = f.count_models_brute_force() > 0;
+        let result = preprocess(f, &PreprocessConfig::default());
+        match result.verdict {
+            Some(false) => {
+                assert!(!before, "preprocessor claimed unsat on a sat formula");
+                return;
+            }
+            Some(true) => unreachable!("verdict true is never produced"),
+            None => {}
+        }
+        let mut solver = result.formula.to_solver();
+        let after = solver.solve(&[]) == SolveResult::Sat;
+        assert_eq!(after, before, "equisatisfiability violated");
+        if after {
+            // Reconstruct a full model and check it satisfies the ORIGINAL.
+            let mut model: Vec<bool> = (0..f.num_vars())
+                .map(|i| {
+                    solver.model_value(Var::new(i as u32).positive()).unwrap_or(false)
+                })
+                .collect();
+            result.extend_model(&mut model);
+            assert_eq!(f.eval(&model), Some(true), "reconstructed model must satisfy original");
+        }
+    }
+
+    #[test]
+    fn units_propagate_away() {
+        let f = formula(&[&[1], &[-1, 2], &[-2, 3]], 3);
+        let r = preprocess(&f, &PreprocessConfig::default());
+        assert_eq!(r.verdict, None);
+        assert_eq!(r.formula.num_clauses(), 0);
+        assert_eq!(r.fixed.len(), 3);
+        check_preserves_sat(&f);
+    }
+
+    #[test]
+    fn unit_conflict_is_unsat() {
+        let f = formula(&[&[1], &[-1]], 1);
+        let r = preprocess(&f, &PreprocessConfig::default());
+        assert_eq!(r.verdict, Some(false));
+    }
+
+    #[test]
+    fn subsumption_removes_supersets() {
+        let f = formula(&[&[1, 2], &[1, 2, 3], &[1, 2, 4]], 4);
+        let r = preprocess(&f, &PreprocessConfig::default());
+        // (1 2) subsumes both longer clauses; elimination may then remove
+        // remaining variables entirely.
+        assert!(r.formula.num_clauses() <= 1);
+        check_preserves_sat(&f);
+    }
+
+    #[test]
+    fn self_subsumption_strengthens() {
+        // (1 2) and (-1 2 3): second strengthens to (2 3).
+        let f = formula(&[&[1, 2], &[-1, 2, 3]], 3);
+        check_preserves_sat(&f);
+    }
+
+    #[test]
+    fn elimination_reconstructs_models() {
+        // x2 occurs twice; eliminating it produces one resolvent.
+        let f = formula(&[&[1, 2], &[-2, 3]], 3);
+        let r = preprocess(&f, &PreprocessConfig::default());
+        assert!(r.num_eliminated() > 0);
+        check_preserves_sat(&f);
+    }
+
+    #[test]
+    fn pure_literal_elimination() {
+        // x1 occurs only positively: all its clauses can be removed.
+        let f = formula(&[&[1, 2], &[1, -3]], 3);
+        let r = preprocess(&f, &PreprocessConfig::default());
+        check_preserves_sat(&f);
+        // Everything resolvable away.
+        assert_eq!(r.formula.num_clauses(), 0);
+    }
+
+    #[test]
+    fn taut_resolvents_skipped() {
+        // Resolving (1 2) with (-1 -2) on x1 gives the tautology (2 -2).
+        let f = formula(&[&[1, 2], &[-1, -2]], 2);
+        check_preserves_sat(&f);
+    }
+
+    #[test]
+    fn random_formulas_equisatisfiable() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for round in 0..120 {
+            let vars = rng.random_range(1..9usize);
+            let ncl = rng.random_range(0..18usize);
+            let mut f = CnfFormula::new();
+            f.set_num_vars(vars);
+            for _ in 0..ncl {
+                let len = rng.random_range(1..4usize);
+                let clause: Vec<Lit> = (0..len)
+                    .map(|_| {
+                        Lit::new(
+                            Var::new(rng.random_range(0..vars as u32)),
+                            rng.random_bool(0.5),
+                        )
+                    })
+                    .collect();
+                f.add_clause(&clause);
+            }
+            check_preserves_sat(&f);
+            let _ = round;
+        }
+    }
+
+    #[test]
+    fn empty_formula_is_noop() {
+        let f = CnfFormula::new();
+        let r = preprocess(&f, &PreprocessConfig::default());
+        assert_eq!(r.verdict, None);
+        assert_eq!(r.formula.num_clauses(), 0);
+        assert_eq!(r.num_eliminated(), 0);
+    }
+
+    #[test]
+    fn growth_limit_respected() {
+        // With max_growth = 0 elimination never increases clause count.
+        let f = formula(
+            &[&[1, 2], &[1, 3], &[-1, 4], &[-1, 5], &[2, 3, 4], &[4, 5]],
+            5,
+        );
+        let before = f.num_clauses();
+        let r = preprocess(&f, &PreprocessConfig::default());
+        assert!(r.formula.num_clauses() <= before);
+        check_preserves_sat(&f);
+    }
+}

@@ -1,0 +1,182 @@
+//! End-to-end integration tests spanning every crate: lock → attack →
+//! recombine → formally verify, for each locking scheme.
+
+use polykey::attack::{
+    multi_key_attack, recombine_multikey, sat_attack, verify_key, AttackStatus,
+    MultiKeyConfig, Oracle, SatAttackConfig, SimOracle, SplitStrategy,
+};
+use polykey::circuits::{arith, c17, generate_random, RandomCircuitSpec};
+use polykey::encode::{check_equivalence, EquivResult};
+use polykey::locking::{
+    lock_antisat, lock_lut, lock_rll, lock_sarlock_with_key, AntisatConfig, Key, LutConfig,
+    SarlockConfig,
+};
+use polykey::netlist::{pin_keys, simplify, Netlist};
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+/// SAT-attacks the locked design and formally verifies the recovered key.
+fn attack_and_verify(original: &Netlist, locked: &Netlist) {
+    let mut oracle = SimOracle::new(original).expect("keyless oracle");
+    let outcome =
+        sat_attack(locked, &mut oracle, &SatAttackConfig::new()).expect("attack runs");
+    assert_eq!(outcome.status, AttackStatus::Success);
+    let key = outcome.key.expect("success implies key");
+    assert!(
+        verify_key(original, locked, &key).expect("verification runs"),
+        "recovered key must be functionally correct"
+    );
+}
+
+#[test]
+fn sat_attack_breaks_rll_on_c17() {
+    let original = c17();
+    let locked = lock_rll(&original, 5, &mut rng(1)).expect("lockable");
+    attack_and_verify(&original, &locked.netlist);
+}
+
+#[test]
+fn sat_attack_breaks_sarlock_on_c17() {
+    let original = c17();
+    let locked =
+        lock_sarlock_with_key(&original, &SarlockConfig::new(4), &Key::from_u64(11, 4))
+            .expect("lockable");
+    attack_and_verify(&original, &locked.netlist);
+}
+
+#[test]
+fn sat_attack_breaks_antisat_on_adder() {
+    let original = arith::ripple_adder(3);
+    let locked = lock_antisat(&original, &AntisatConfig::new(3), &mut rng(7)).expect("lockable");
+    attack_and_verify(&original, &locked.netlist);
+}
+
+#[test]
+fn sat_attack_breaks_lut_on_parity() {
+    let original = arith::parity(6);
+    let cfg = LutConfig { stage1: vec![2], stage2_extra: 1 };
+    let locked = lock_lut(&original, &cfg, &mut rng(3)).expect("lockable");
+    attack_and_verify(&original, &locked.netlist);
+}
+
+#[test]
+fn multikey_pipeline_on_every_scheme() {
+    // For each scheme: Algorithm 1 with N = 2 + Fig. 1(b) recombination
+    // must yield a netlist formally equivalent to the original.
+    let original = generate_random(&RandomCircuitSpec::new("ep", 8, 3, 60, 404));
+    let mut r = rng(12);
+    let locked_designs: Vec<Netlist> = vec![
+        lock_rll(&original, 6, &mut r).expect("rll").netlist,
+        lock_sarlock_with_key(&original, &SarlockConfig::new(5), &Key::from_u64(19, 5))
+            .expect("sarlock")
+            .netlist,
+        lock_antisat(&original, &AntisatConfig::new(3), &mut r).expect("antisat").netlist,
+        lock_lut(&original, &LutConfig { stage1: vec![2], stage2_extra: 1 }, &mut r)
+            .expect("lut")
+            .netlist,
+    ];
+    for locked in locked_designs {
+        let mut config = MultiKeyConfig::with_split_effort(2);
+        config.parallel = true;
+        let outcome = multi_key_attack(&locked, &original, &config).expect("attack runs");
+        assert!(outcome.is_complete(), "{}", locked.name());
+        let recombined = recombine_multikey(&locked, &outcome.split_inputs, &outcome.keys)
+            .expect("recombine");
+        assert_eq!(
+            check_equivalence(&original, &recombined).expect("equiv check"),
+            EquivResult::Equivalent,
+            "{}",
+            locked.name()
+        );
+    }
+}
+
+#[test]
+fn table1_shape_holds_on_small_instance() {
+    // The closed form behind Table 1: SARLock with |K| = k needs
+    // ~2^k DIPs at N = 0 and ~2^(k-N) per term at splitting effort N,
+    // when the split ports hit the comparator.
+    let original = generate_random(&RandomCircuitSpec::new("t1", 10, 4, 80, 77));
+    let kw = 6;
+    let locked =
+        lock_sarlock_with_key(&original, &SarlockConfig::new(kw), &Key::from_u64(45, kw))
+            .expect("lockable");
+
+    let mut max_dips_by_n = Vec::new();
+    for n in 0..=3usize {
+        let mut config = MultiKeyConfig::with_split_effort(n);
+        config.strategy = SplitStrategy::FanoutCone;
+        config.parallel = true;
+        let outcome = multi_key_attack(&locked.netlist, &original, &config).expect("runs");
+        assert!(outcome.is_complete());
+        max_dips_by_n.push(outcome.reports.iter().map(|r| r.dips).max().unwrap());
+    }
+    // Baseline ≈ 2^6 - 1 = 63 (±1 from termination accounting).
+    assert!(
+        (62..=64).contains(&max_dips_by_n[0]),
+        "baseline #DIP ≈ 2^{kw}: {max_dips_by_n:?}"
+    );
+    // Halving per level, approximately.
+    for n in 1..max_dips_by_n.len() {
+        let expected = (1u64 << (kw - n)) as f64;
+        let got = max_dips_by_n[n] as f64;
+        assert!(
+            got <= expected * 1.25 + 2.0,
+            "N={n}: #DIP {got} should be ≈ {expected}: {max_dips_by_n:?}"
+        );
+    }
+}
+
+#[test]
+fn pin_keys_and_simplify_strip_all_key_logic_for_correct_key() {
+    // Locking + correct key + re-synthesis returns (functionally) the
+    // original; for SARLock the flip logic folds to constant 0.
+    let original = arith::comparator(3);
+    let locked =
+        lock_sarlock_with_key(&original, &SarlockConfig::new(3), &Key::from_u64(2, 3))
+            .expect("lockable");
+    let pinned = pin_keys(&locked.netlist, locked.key.bits()).expect("pin");
+    let (swept, _) = simplify(&pinned).expect("simplify");
+    assert_eq!(
+        check_equivalence(&original, &swept).expect("equiv"),
+        EquivResult::Equivalent
+    );
+}
+
+#[test]
+fn oracle_query_counts_are_attack_iterations() {
+    let original = c17();
+    let locked = lock_rll(&original, 3, &mut rng(5)).expect("lockable");
+    let mut oracle = SimOracle::new(&original).expect("oracle");
+    let outcome =
+        sat_attack(&locked.netlist, &mut oracle, &SatAttackConfig::new()).expect("runs");
+    assert_eq!(outcome.stats.oracle_queries, outcome.stats.dips);
+    assert_eq!(oracle.queries(), outcome.stats.dips);
+}
+
+#[test]
+fn dip_patterns_are_real_distinguishing_inputs() {
+    // Every recorded DIP must actually distinguish two keys that were
+    // consistent at the time — at minimum, it must be a legal input vector
+    // of the right width.
+    let original = c17();
+    let locked =
+        lock_sarlock_with_key(&original, &SarlockConfig::new(4), &Key::from_u64(7, 4))
+            .expect("lockable");
+    let mut oracle = SimOracle::new(&original).expect("oracle");
+    let outcome =
+        sat_attack(&locked.netlist, &mut oracle, &SatAttackConfig::new()).expect("runs");
+    assert!(outcome.is_success());
+    assert_eq!(outcome.dip_patterns.len() as u64, outcome.stats.dips);
+    for dip in &outcome.dip_patterns {
+        assert_eq!(dip.len(), original.inputs().len());
+    }
+    // SARLock DIPs are distinct (each eliminates a distinct key).
+    let mut unique = outcome.dip_patterns.clone();
+    unique.sort();
+    unique.dedup();
+    assert_eq!(unique.len(), outcome.dip_patterns.len());
+}
