@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use polykey_sat::{ClauseSink, CnfFormula, Lit, SolveResult, Var};
 
 /// Pigeonhole principle: n pigeons into n-1 holes (unsat, resolution-hard).
+#[allow(clippy::needless_range_loop)]
 fn pigeonhole(n: usize) -> CnfFormula {
     let m = n - 1;
     let mut f = CnfFormula::new();

@@ -64,5 +64,11 @@ fn bench_encode(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulation, bench_simplify, bench_cofactor_simplify, bench_encode);
+criterion_group!(
+    benches,
+    bench_simulation,
+    bench_simplify,
+    bench_cofactor_simplify,
+    bench_encode
+);
 criterion_main!(benches);

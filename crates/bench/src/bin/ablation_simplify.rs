@@ -10,25 +10,26 @@
 //! per-DIP CNF copies); this binary quantifies both the size and the time
 //! effect on a LUT-locked circuit.
 
-use polykey_attack::{multi_key_attack, MultiKeyConfig, SplitStrategy};
+use polykey_attack::{AttackSession, SimOracle, SplitStrategy};
 use polykey_bench::{fmt_duration, HarnessArgs, TextTable};
 use polykey_circuits::Iscas85;
-use polykey_locking::{lock_lut, LutConfig};
+use polykey_locking::{LockScheme, LutLock};
 use rand::SeedableRng;
 
 fn main() {
     let args = HarnessArgs::parse();
     let circuit = if args.quick { Iscas85::C880 } else { Iscas85::C1908 };
-    let lut = if args.full { LutConfig::paper() } else { LutConfig::small() };
+    let scheme = if args.full { LutLock::paper() } else { LutLock::small() };
     let seed = args.seed.unwrap_or(0xAB1A7E);
+    let scheme = scheme.with_seed(seed);
 
     let original = circuit.build();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let locked = lock_lut(&original, &lut, &mut rng).expect("lockable");
+    let locked = scheme.lock_random(&original, &mut rng).expect("lockable");
 
     println!(
         "Re-synthesis ablation: LUT({} keys) on {}, N = 4, 16 parallel terms\n",
-        lut.key_bits(),
+        scheme.key_bits(),
         circuit
     );
 
@@ -41,17 +42,23 @@ fn main() {
     for (name, simplify) in
         [("with re-synthesis (paper)", true), ("without (pinned only)", false)]
     {
-        let mut cfg = MultiKeyConfig::with_split_effort(4);
-        cfg.strategy = SplitStrategy::FanoutCone;
-        cfg.simplify = simplify;
-        cfg.parallel = true;
-        cfg.sat.record_dips = false;
+        let mut builder = AttackSession::builder()
+            .split_effort(4)
+            .strategy(SplitStrategy::FanoutCone)
+            .simplify(simplify)
+            .record_dips(false);
         if let Some(cap) = args.time_cap {
-            cfg.sat.time_limit = Some(std::time::Duration::from_secs(cap));
+            builder = builder.time_budget(std::time::Duration::from_secs(cap));
         }
-        let outcome =
-            multi_key_attack(&locked.netlist, &original, &cfg).expect("attack runs");
-        assert!(outcome.is_complete());
+        let mut oracle = SimOracle::new(&original).expect("oracle");
+        let report = builder
+            .oracle(&mut oracle)
+            .build()
+            .expect("oracle provided")
+            .run(&locked.netlist)
+            .expect("attack runs");
+        assert!(report.is_complete());
+        let outcome = report.as_multi_key().expect("N > 0");
         let min_g = outcome.reports.iter().map(|r| r.gates_after).min().unwrap_or(0);
         let max_g = outcome.reports.iter().map(|r| r.gates_after).max().unwrap_or(0);
         table.row(vec![
@@ -60,7 +67,7 @@ fn main() {
             fmt_duration(outcome.max_task_time()),
             fmt_duration(outcome.mean_task_time()),
         ]);
-        eprintln!("  {name}: done in {}", fmt_duration(outcome.wall_time));
+        eprintln!("  {name}: done in {}", fmt_duration(report.stats().wall_time));
     }
     println!("{}", table.render());
     println!(

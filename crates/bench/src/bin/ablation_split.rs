@@ -11,10 +11,10 @@
 //! `#DIP` at the baseline value — the heuristic is what makes Table 1's
 //! exponential decay happen.
 
-use polykey_attack::{multi_key_attack, MultiKeyConfig, SplitStrategy};
+use polykey_attack::{AttackSession, SimOracle, SplitStrategy};
 use polykey_bench::{fmt_duration, HarnessArgs, TextTable};
 use polykey_circuits::Iscas85;
-use polykey_locking::{lock_sarlock_with_key, Key, SarlockConfig};
+use polykey_locking::{Key, LockScheme, Sarlock};
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -25,10 +25,11 @@ fn main() {
     // that FirstInputs genuinely misses them.
     let circuit = if args.quick { Iscas85::C880 } else { Iscas85::C7552 };
     let original = circuit.build();
-    let mut config = SarlockConfig::new(kw);
-    config.compare_inputs = Some((10..10 + kw).collect());
     let key = Key::from_u64(seed & ((1 << kw) - 1), kw);
-    let locked = lock_sarlock_with_key(&original, &config, &key).expect("lockable");
+    let locked = Sarlock::new(kw)
+        .with_compare_inputs((10..10 + kw).collect())
+        .lock(&original, &key)
+        .expect("lockable");
 
     println!(
         "Split-strategy ablation: SARLock(|K|={kw}) on {}, N = 3, comparator on inputs 10..{}",
@@ -37,31 +38,32 @@ fn main() {
     );
     println!("baseline (N=0) needs ~2^{kw} DIPs\n");
 
-    let mut table =
-        TextTable::new(vec!["strategy", "#DIP (max over terms)", "max term time"]);
+    let mut table = TextTable::new(vec!["strategy", "#DIP (max over terms)", "max term time"]);
     for (name, strategy) in [
         ("fan-out cone (paper)", SplitStrategy::FanoutCone),
         ("first inputs", SplitStrategy::FirstInputs),
         ("random", SplitStrategy::Random { seed }),
     ] {
-        let mut cfg = MultiKeyConfig::with_split_effort(3);
-        cfg.strategy = strategy;
-        cfg.parallel = true;
-        cfg.sat.record_dips = false;
-        let outcome =
-            multi_key_attack(&locked.netlist, &original, &cfg).expect("attack runs");
-        assert!(outcome.is_complete());
+        let mut oracle = SimOracle::new(&original).expect("oracle");
+        let report = AttackSession::builder()
+            .oracle(&mut oracle)
+            .split_effort(3)
+            .strategy(strategy)
+            .record_dips(false)
+            .build()
+            .expect("oracle provided")
+            .run(&locked.netlist)
+            .expect("attack runs");
+        assert!(report.is_complete());
+        let outcome = report.as_multi_key().expect("N > 0");
         let max_dips = outcome.reports.iter().map(|r| r.dips).max().unwrap_or(0);
         table.row(vec![
             name.to_string(),
             format!("{max_dips}"),
-            fmt_duration(outcome.max_task_time()),
+            fmt_duration(report.stats().max_subtask_time()),
         ]);
-        let picked: Vec<&str> = outcome
-            .split_inputs
-            .iter()
-            .map(|&id| locked.netlist.node_name(id))
-            .collect();
+        let picked: Vec<&str> =
+            report.split_inputs().iter().map(|&id| locked.netlist.node_name(id)).collect();
         eprintln!("  {name}: split ports {picked:?}");
     }
     println!("{}", table.render());

@@ -15,12 +15,10 @@
 //! The probe locks the same circuit both ways with the same key width and
 //! reports `#DIP` for N = 0..3.
 
-use polykey_attack::{multi_key_attack, MultiKeyConfig, SplitStrategy};
+use polykey_attack::{AttackSession, SimOracle, SplitStrategy};
 use polykey_bench::{fmt_duration, HarnessArgs, TextTable};
 use polykey_circuits::Iscas85;
-use polykey_locking::{
-    lock_sarlock_on_signals, lock_sarlock_with_key, Key, SarlockConfig,
-};
+use polykey_locking::{lock_sarlock_on_signals, Key, LockScheme, Sarlock};
 use polykey_netlist::analysis::levels;
 use polykey_netlist::{Netlist, NodeId};
 
@@ -39,9 +37,7 @@ fn deep_signals(nl: &Netlist, n: usize) -> Vec<NodeId> {
     let mut candidates: Vec<NodeId> = nl
         .node_ids()
         .filter(|&id| {
-            !nl.node(id).kind().is_input()
-                && !out_cones[id.index()]
-                && lv[id.index()] >= 3
+            !nl.node(id).kind().is_input() && !out_cones[id.index()] && lv[id.index()] >= 3
         })
         .collect();
     // Deterministic spread: sort by level descending, then stride.
@@ -60,8 +56,7 @@ fn main() {
     println!("Defense probe: SARLock |K| = {kw} on {circuit}");
     println!("attack = multi-key, fan-out-cone splitting, N = 0..3\n");
 
-    let input_locked =
-        lock_sarlock_with_key(&original, &SarlockConfig::new(kw), &key).expect("lockable");
+    let input_locked = Sarlock::new(kw).lock(&original, &key).expect("lockable");
     let signals = deep_signals(&original, kw);
     let names: Vec<&str> = signals.iter().map(|&s| original.node_name(s)).collect();
     println!("internal comparator nets: {names:?}\n");
@@ -83,15 +78,23 @@ fn main() {
         let mut row = vec![label.to_string()];
         let mut last_time = String::new();
         for n in 0..=3usize {
-            let mut cfg = MultiKeyConfig::with_split_effort(n);
-            cfg.strategy = SplitStrategy::FanoutCone;
-            cfg.parallel = true;
-            cfg.sat.record_dips = false;
-            let outcome = multi_key_attack(locked, &original, &cfg).expect("runs");
-            assert!(outcome.is_complete(), "{label} N={n}");
-            let max_dips = outcome.reports.iter().map(|r| r.dips).max().unwrap_or(0);
+            let mut oracle = SimOracle::new(&original).expect("oracle");
+            let report = AttackSession::builder()
+                .oracle(&mut oracle)
+                .split_effort(n)
+                .strategy(SplitStrategy::FanoutCone)
+                .record_dips(false)
+                .build()
+                .expect("oracle provided")
+                .run(locked)
+                .expect("runs");
+            assert!(report.is_complete(), "{label} N={n}");
+            let max_dips = match report.as_multi_key() {
+                Some(outcome) => outcome.reports.iter().map(|r| r.dips).max().unwrap_or(0),
+                None => report.stats().dips,
+            };
             row.push(format!("{max_dips}"));
-            last_time = fmt_duration(outcome.max_task_time());
+            last_time = fmt_duration(report.stats().max_subtask_time());
         }
         row.push(last_time);
         table.row(row);

@@ -10,7 +10,7 @@
 //! wrong key, none for the correct key.
 
 use polykey_bench::TextTable;
-use polykey_locking::{lock_sarlock_with_key, Key, SarlockConfig};
+use polykey_locking::{Key, LockScheme, Sarlock};
 use polykey_netlist::{bits_of, GateKind, Netlist, Simulator};
 
 /// The running example: a 3-input majority gate (any 3-input function
@@ -34,8 +34,7 @@ fn main() {
     let k_star_msb_first = [true, false, true];
     let key = Key::new(k_star_msb_first.iter().rev().copied().collect());
     let nl = majority3();
-    let locked =
-        lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &key).expect("valid lock");
+    let locked = Sarlock::new(3).lock(&nl, &key).expect("valid lock");
 
     let mut orig = Simulator::new(&nl).expect("acyclic");
     let mut lsim = Simulator::new(&locked.netlist).expect("acyclic");

@@ -8,12 +8,10 @@
 
 use std::time::Duration;
 
-use polykey_attack::{
-    multi_key_attack, sat_attack, MultiKeyConfig, SatAttackConfig, SimOracle, SplitStrategy,
-};
+use polykey_attack::{AttackSession, SimOracle, SplitStrategy};
 use polykey_bench::{fmt_duration, HarnessArgs};
 use polykey_circuits::Iscas85;
-use polykey_locking::{lock_lut, LutConfig};
+use polykey_locking::{LockScheme, LutLock};
 use rand::SeedableRng;
 
 fn main() {
@@ -23,46 +21,55 @@ fn main() {
     let circuit = if args.full { Iscas85::C6288 } else { Iscas85::C880 };
     let original = circuit.build();
 
-    for (label, cfg) in [
-        ("8+8+8=24 keys", LutConfig { stage1: vec![3, 3], stage2_extra: 1 }),
-        ("16+16+16=48 keys", LutConfig { stage1: vec![4, 4], stage2_extra: 2 }),
-        ("32+32+16=80 keys", LutConfig { stage1: vec![5, 5], stage2_extra: 2 }),
+    for (label, scheme) in [
+        ("8+8+8=24 keys", LutLock::new(vec![3, 3], 1)),
+        ("16+16+16=48 keys", LutLock::new(vec![4, 4], 2)),
+        ("32+32+16=80 keys", LutLock::new(vec![5, 5], 2)),
     ] {
+        let scheme = scheme.with_seed(seed);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let locked = match lock_lut(&original, &cfg, &mut rng) {
+        let locked = match scheme.lock_random(&original, &mut rng) {
             Ok(l) => l,
             Err(e) => {
                 println!("{label}: cannot lock ({e})");
                 continue;
             }
         };
-        let mut base_cfg = SatAttackConfig::new();
-        base_cfg.record_dips = false;
-        base_cfg.time_limit = Some(cap);
         let mut oracle = SimOracle::new(&original).expect("oracle");
-        let baseline =
-            sat_attack(&locked.netlist, &mut oracle, &base_cfg).expect("runs");
+        let baseline = AttackSession::builder()
+            .oracle(&mut oracle)
+            .record_dips(false)
+            .time_budget(cap)
+            .build()
+            .expect("oracle provided")
+            .run(&locked.netlist)
+            .expect("runs");
+        let stats = baseline.stats();
         println!(
             "{} on {}: baseline {} ({} DIPs, {:?}, {} conflicts)",
             label,
             circuit,
-            fmt_duration(baseline.stats.wall_time),
-            baseline.stats.dips,
-            baseline.status,
-            baseline.stats.solver.conflicts
+            fmt_duration(stats.wall_time),
+            stats.dips,
+            baseline.status(),
+            stats.solver_conflicts
         );
         for simplify in [true, false] {
-            let mut mk = MultiKeyConfig::with_split_effort(4);
-            mk.strategy = SplitStrategy::FanoutCone;
-            mk.simplify = simplify;
-            mk.parallel = true;
-            mk.sat.record_dips = false;
-            mk.sat.time_limit = Some(cap);
-            let outcome =
-                multi_key_attack(&locked.netlist, &original, &mk).expect("runs");
+            let mut oracle = SimOracle::new(&original).expect("oracle");
+            let report = AttackSession::builder()
+                .oracle(&mut oracle)
+                .split_effort(4)
+                .strategy(SplitStrategy::FanoutCone)
+                .simplify(simplify)
+                .record_dips(false)
+                .time_budget(cap)
+                .build()
+                .expect("oracle provided")
+                .run(&locked.netlist)
+                .expect("runs");
+            let outcome = report.as_multi_key().expect("N > 0");
             let max_dips = outcome.reports.iter().map(|r| r.dips).max().unwrap_or(0);
-            let gates: Vec<usize> =
-                outcome.reports.iter().map(|r| r.gates_after).collect();
+            let gates: Vec<usize> = outcome.reports.iter().map(|r| r.gates_after).collect();
             println!(
                 "  N=4 simplify={simplify}: min {} mean {} max {} (max {} DIPs, gates {}..{}, complete={})",
                 fmt_duration(outcome.min_task_time()),
@@ -71,7 +78,7 @@ fn main() {
                 max_dips,
                 gates.iter().min().unwrap(),
                 gates.iter().max().unwrap(),
-                outcome.is_complete(),
+                report.is_complete(),
             );
         }
     }

@@ -14,10 +14,10 @@
 
 use std::time::Instant;
 
-use polykey_attack::{multi_key_attack, MultiKeyConfig, SplitStrategy};
+use polykey_attack::{AttackSession, SimOracle, SplitStrategy};
 use polykey_bench::{fmt_duration, HarnessArgs, TextTable};
 use polykey_circuits::Iscas85;
-use polykey_locking::{lock_sarlock_with_key, Key, SarlockConfig};
+use polykey_locking::{Key, LockScheme, Sarlock};
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -41,19 +41,28 @@ fn main() {
     for &kw in &key_sizes {
         // A fixed correct key derived from the seed keeps runs reproducible.
         let key = Key::from_u64(seed & ((1 << kw) - 1), kw);
-        let locked = lock_sarlock_with_key(&c7552, &SarlockConfig::new(kw), &key)
-            .expect("c7552 has enough inputs");
+        let locked = Sarlock::new(kw).lock(&c7552, &key).expect("c7552 has enough inputs");
         let mut row = vec![format!("{kw}")];
         for n in 0..=4usize {
             let started = Instant::now();
-            let mut config = MultiKeyConfig::with_split_effort(n);
-            config.strategy = SplitStrategy::FanoutCone;
-            config.parallel = n > 0;
-            let outcome = multi_key_attack(&locked.netlist, &c7552, &config)
+            let mut oracle = SimOracle::new(&c7552).expect("keyless oracle");
+            let report = AttackSession::builder()
+                .oracle(&mut oracle)
+                .split_effort(n)
+                .strategy(SplitStrategy::FanoutCone)
+                .build()
+                .expect("oracle provided")
+                .run(&locked.netlist)
                 .expect("attack runs");
-            assert!(outcome.is_complete(), "|K|={kw} N={n} must succeed");
-            let max_dips = outcome.reports.iter().map(|r| r.dips).max().unwrap_or(0);
-            let min_dips = outcome.reports.iter().map(|r| r.dips).min().unwrap_or(0);
+            assert!(report.is_complete(), "|K|={kw} N={n} must succeed");
+            let (max_dips, min_dips, terms) = match report.as_multi_key() {
+                Some(outcome) => (
+                    outcome.reports.iter().map(|r| r.dips).max().unwrap_or(0),
+                    outcome.reports.iter().map(|r| r.dips).min().unwrap_or(0),
+                    outcome.reports.len(),
+                ),
+                None => (report.stats().dips, report.stats().dips, 1),
+            };
             if max_dips != min_dips {
                 spread_note.push(format!(
                     "|K|={kw} N={n}: per-term #DIP ranges {min_dips}..{max_dips}"
@@ -61,8 +70,7 @@ fn main() {
             }
             row.push(format!("{max_dips}"));
             eprintln!(
-                "  |K|={kw} N={n}: #DIP(max)={max_dips} across {} terms in {}",
-                outcome.reports.len(),
+                "  |K|={kw} N={n}: #DIP(max)={max_dips} across {terms} terms in {}",
                 fmt_duration(started.elapsed()),
             );
         }

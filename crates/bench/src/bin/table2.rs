@@ -18,18 +18,15 @@
 
 use std::time::Duration;
 
-use polykey_attack::{
-    multi_key_attack, sat_attack, AttackStatus, MultiKeyConfig, SatAttackConfig, SimOracle,
-    SplitStrategy,
-};
+use polykey_attack::{AttackSession, AttackStatus, SimOracle, SplitStrategy};
 use polykey_bench::{fmt_duration, HarnessArgs, TextTable};
 use polykey_circuits::Iscas85;
-use polykey_locking::{lock_lut, LutConfig};
+use polykey_locking::{LockScheme, LutLock};
 use rand::SeedableRng;
 
 fn main() {
     let args = HarnessArgs::parse();
-    let lut_config = if args.full { LutConfig::paper() } else { LutConfig::small() };
+    let base_scheme = if args.full { LutLock::paper() } else { LutLock::small() };
     let circuits: Vec<Iscas85> = if args.quick {
         vec![Iscas85::C880, Iscas85::C1355, Iscas85::C1908, Iscas85::C6288]
     } else {
@@ -37,11 +34,12 @@ fn main() {
     };
     let time_cap = Duration::from_secs(args.time_cap.unwrap_or(600));
     let seed = args.seed.unwrap_or(0x7AB1E2);
+    let scheme = base_scheme.with_seed(seed);
 
     println!(
         "Table 2: runtime of attacking LUT-based insertion ({} key bits, {} tapped nets)",
-        lut_config.key_bits(),
-        lut_config.module_inputs()
+        scheme.key_bits(),
+        scheme.module_inputs()
     );
     println!("baseline = plain SAT attack; this work = 16 parallel terms at N = 4");
     println!("per-attack time cap: {} (cells show >cap when hit)\n", fmt_duration(time_cap));
@@ -58,7 +56,7 @@ fn main() {
     for bench in circuits {
         let original = bench.build();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let locked = lock_lut(&original, &lut_config, &mut rng).expect("lockable");
+        let locked = scheme.lock_random(&original, &mut rng).expect("lockable");
         eprintln!(
             "{}: locked with {} key bits ({} gates -> {})",
             bench,
@@ -69,33 +67,42 @@ fn main() {
 
         // Baseline: the conventional SAT attack on the whole circuit, in
         // the textbook formulation (full circuit copies per DIP) that the
-        // paper's tooling uses; `--fold` would be the optimized engine.
-        let mut baseline_cfg = SatAttackConfig::textbook();
-        baseline_cfg.time_limit = Some(time_cap);
-        baseline_cfg.record_dips = false;
+        // paper's tooling uses; dropping `.textbook(true)` would measure
+        // the optimized folded engine instead.
         let mut oracle = SimOracle::new(&original).expect("keyless oracle");
-        let baseline = sat_attack(&locked.netlist, &mut oracle, &baseline_cfg)
+        let baseline = AttackSession::builder()
+            .oracle(&mut oracle)
+            .textbook(true)
+            .time_budget(time_cap)
+            .record_dips(false)
+            .build()
+            .expect("oracle provided")
+            .run(&locked.netlist)
             .expect("attack runs");
-        let baseline_capped = baseline.status == AttackStatus::TimeLimit;
-        let baseline_time = baseline.stats.wall_time;
+        let baseline_capped = baseline.status() == AttackStatus::TimeLimit;
+        let baseline_time = baseline.stats().wall_time;
         eprintln!(
             "  baseline: {} ({} DIPs, status {:?})",
             fmt_duration(baseline_time),
-            baseline.stats.dips,
-            baseline.status
+            baseline.stats().dips,
+            baseline.status()
         );
 
         // This work: N = 4, 16 parallel terms.
-        let mut config = MultiKeyConfig::with_split_effort(4);
-        config.strategy = SplitStrategy::FanoutCone;
-        config.parallel = true;
-        config.sat = SatAttackConfig::textbook();
-        config.sat.time_limit = Some(time_cap);
-        config.sat.record_dips = false;
-        let outcome =
-            multi_key_attack(&locked.netlist, &original, &config).expect("attack runs");
-        let any_capped =
-            outcome.reports.iter().any(|r| r.status == AttackStatus::TimeLimit);
+        let mut oracle = SimOracle::new(&original).expect("keyless oracle");
+        let report = AttackSession::builder()
+            .oracle(&mut oracle)
+            .split_effort(4)
+            .strategy(SplitStrategy::FanoutCone)
+            .textbook(true)
+            .time_budget(time_cap)
+            .record_dips(false)
+            .build()
+            .expect("oracle provided")
+            .run(&locked.netlist)
+            .expect("attack runs");
+        let outcome = report.as_multi_key().expect("N > 0");
+        let any_capped = outcome.reports.iter().any(|r| r.status == AttackStatus::TimeLimit);
         let min = outcome.min_task_time();
         let mean = outcome.mean_task_time();
         let max = outcome.max_task_time();
@@ -126,7 +133,10 @@ fn main() {
             fmt_duration(min),
             fmt_duration(mean),
             fmt_capped(max, any_capped),
-            format!("{ratio:.3}{}", if baseline_capped { " (lower bound on speedup)" } else { "" }),
+            format!(
+                "{ratio:.3}{}",
+                if baseline_capped { " (lower bound on speedup)" } else { "" }
+            ),
         ]);
     }
 

@@ -41,8 +41,10 @@ fn full_adder(
 pub fn ripple_adder(n: usize) -> Netlist {
     assert!(n > 0);
     let mut nl = Netlist::new(format!("add{n}"));
-    let a: Vec<NodeId> = (0..n).map(|i| nl.add_input(format!("a{i}")).expect("fresh")).collect();
-    let b: Vec<NodeId> = (0..n).map(|i| nl.add_input(format!("b{i}")).expect("fresh")).collect();
+    let a: Vec<NodeId> =
+        (0..n).map(|i| nl.add_input(format!("a{i}")).expect("fresh")).collect();
+    let b: Vec<NodeId> =
+        (0..n).map(|i| nl.add_input(format!("b{i}")).expect("fresh")).collect();
     let cin = nl.add_input("cin").expect("fresh");
     let mut carry = Some(cin);
     let mut sums = Vec::with_capacity(n);
@@ -65,11 +67,14 @@ pub fn ripple_adder(n: usize) -> Netlist {
 /// # Panics
 ///
 /// Panics if `n` is 0.
+#[allow(clippy::needless_range_loop)]
 pub fn multiplier(n: usize) -> Netlist {
     assert!(n > 0);
     let mut nl = Netlist::new(format!("mul{n}"));
-    let a: Vec<NodeId> = (0..n).map(|i| nl.add_input(format!("a{i}")).expect("fresh")).collect();
-    let b: Vec<NodeId> = (0..n).map(|i| nl.add_input(format!("b{i}")).expect("fresh")).collect();
+    let a: Vec<NodeId> =
+        (0..n).map(|i| nl.add_input(format!("a{i}")).expect("fresh")).collect();
+    let b: Vec<NodeId> =
+        (0..n).map(|i| nl.add_input(format!("b{i}")).expect("fresh")).collect();
 
     // Partial products pp[i][j] = a[j] & b[i], weight i + j.
     let mut pp = vec![vec![None::<NodeId>; n]; n];
@@ -84,19 +89,15 @@ pub fn multiplier(n: usize) -> Netlist {
 
     // Row-by-row accumulation with ripple carries.
     let mut acc: Vec<Option<NodeId>> = vec![None; 2 * n];
-    for j in 0..n {
-        acc[j] = pp[0][j];
-    }
+    acc[..n].copy_from_slice(&pp[0][..n]);
     for i in 1..n {
         let mut carry: Option<NodeId> = None;
         for j in 0..n {
             let pos = i + j;
             let addend = pp[i][j].expect("built above");
             let (s, c) = match acc[pos] {
-                Some(prev) => {
-                    full_adder(&mut nl, prev, addend, carry, &format!("fa_{i}_{j}"))
-                        .expect("valid")
-                }
+                Some(prev) => full_adder(&mut nl, prev, addend, carry, &format!("fa_{i}_{j}"))
+                    .expect("valid"),
                 None => match carry {
                     Some(cin) => full_adder(&mut nl, addend, cin, None, &format!("fa_{i}_{j}"))
                         .expect("valid"),
@@ -133,8 +134,10 @@ pub fn multiplier(n: usize) -> Netlist {
 pub fn comparator(n: usize) -> Netlist {
     assert!(n > 0);
     let mut nl = Netlist::new(format!("eq{n}"));
-    let a: Vec<NodeId> = (0..n).map(|i| nl.add_input(format!("a{i}")).expect("fresh")).collect();
-    let b: Vec<NodeId> = (0..n).map(|i| nl.add_input(format!("b{i}")).expect("fresh")).collect();
+    let a: Vec<NodeId> =
+        (0..n).map(|i| nl.add_input(format!("a{i}")).expect("fresh")).collect();
+    let b: Vec<NodeId> =
+        (0..n).map(|i| nl.add_input(format!("b{i}")).expect("fresh")).collect();
     let eqs: Vec<NodeId> = (0..n)
         .map(|i| nl.add_gate(format!("eq{i}"), GateKind::Xnor, &[a[i], b[i]]).expect("fresh"))
         .collect();
@@ -275,8 +278,10 @@ mod tests {
 pub fn alu(n: usize) -> Netlist {
     assert!(n > 0);
     let mut nl = Netlist::new(format!("alu{n}"));
-    let a: Vec<NodeId> = (0..n).map(|i| nl.add_input(format!("a{i}")).expect("fresh")).collect();
-    let b: Vec<NodeId> = (0..n).map(|i| nl.add_input(format!("b{i}")).expect("fresh")).collect();
+    let a: Vec<NodeId> =
+        (0..n).map(|i| nl.add_input(format!("a{i}")).expect("fresh")).collect();
+    let b: Vec<NodeId> =
+        (0..n).map(|i| nl.add_input(format!("b{i}")).expect("fresh")).collect();
     let op0 = nl.add_input("op0").expect("fresh");
     let op1 = nl.add_input("op1").expect("fresh");
 
@@ -284,8 +289,8 @@ pub fn alu(n: usize) -> Netlist {
     let mut carry: Option<NodeId> = None;
     let mut sum = Vec::with_capacity(n);
     for i in 0..n {
-        let (s, c) = full_adder(&mut nl, a[i], b[i], carry, &format!("alu_fa{i}"))
-            .expect("valid adder");
+        let (s, c) =
+            full_adder(&mut nl, a[i], b[i], carry, &format!("alu_fa{i}")).expect("valid adder");
         sum.push(s);
         carry = c;
     }
@@ -294,9 +299,8 @@ pub fn alu(n: usize) -> Netlist {
         let or = nl.add_gate(format!("alu_or{i}"), GateKind::Or, &[a[i], b[i]]).expect("f");
         let xor = nl.add_gate(format!("alu_xor{i}"), GateKind::Xor, &[a[i], b[i]]).expect("f");
         // select by op0 within each op1 half, then by op1.
-        let lo = nl
-            .add_gate(format!("alu_lo{i}"), GateKind::Mux, &[op0, and, or])
-            .expect("fresh");
+        let lo =
+            nl.add_gate(format!("alu_lo{i}"), GateKind::Mux, &[op0, and, or]).expect("fresh");
         let hi = nl
             .add_gate(format!("alu_hi{i}"), GateKind::Mux, &[op0, xor, sum[i]])
             .expect("fresh");
@@ -317,7 +321,8 @@ pub fn barrel_shifter(n: usize) -> Netlist {
     assert!(n >= 2);
     let stages = usize::BITS as usize - (n - 1).leading_zeros() as usize;
     let mut nl = Netlist::new(format!("bshift{n}"));
-    let x: Vec<NodeId> = (0..n).map(|i| nl.add_input(format!("x{i}")).expect("fresh")).collect();
+    let x: Vec<NodeId> =
+        (0..n).map(|i| nl.add_input(format!("x{i}")).expect("fresh")).collect();
     let s: Vec<NodeId> =
         (0..stages).map(|i| nl.add_input(format!("s{i}")).expect("fresh")).collect();
     let zero = nl.add_const("shift_zero", false).expect("fresh");

@@ -27,8 +27,13 @@ pub struct RandomCircuitSpec {
 
 impl RandomCircuitSpec {
     /// Creates a spec.
-    pub fn new(name: impl Into<String>, inputs: usize, outputs: usize, gates: usize, seed: u64)
-        -> RandomCircuitSpec {
+    pub fn new(
+        name: impl Into<String>,
+        inputs: usize,
+        outputs: usize,
+        gates: usize,
+        seed: u64,
+    ) -> RandomCircuitSpec {
         RandomCircuitSpec { name: name.into(), inputs, outputs, gates, seed }
     }
 }
@@ -58,6 +63,7 @@ fn pick_kind<R: Rng>(rng: &mut R) -> GateKind {
 /// # Panics
 ///
 /// Panics if `inputs` or `outputs` is 0, or `gates < inputs`.
+#[allow(clippy::needless_range_loop)]
 pub fn generate_random(spec: &RandomCircuitSpec) -> Netlist {
     assert!(spec.inputs > 0 && spec.outputs > 0, "need at least one input and output");
     assert!(spec.gates >= spec.inputs, "need at least one gate per input to keep inputs live");
@@ -165,10 +171,7 @@ mod tests {
             let nl = generate_random(&RandomCircuitSpec::new("t", 10, 8, target, 7));
             let got = nl.num_gates();
             let tolerance = target / 5 + 10;
-            assert!(
-                got.abs_diff(target) <= tolerance,
-                "target {target}, got {got}"
-            );
+            assert!(got.abs_diff(target) <= tolerance, "target {target}, got {got}");
         }
     }
 

@@ -1,0 +1,229 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements exactly the API subset the polykey suite uses (see
+//! `crates/compat/README.md`): an object-safe core [`Rng`] trait, the
+//! [`RngExt`] extension with [`RngExt::random_bool`] and
+//! [`RngExt::random_range`], [`SeedableRng::seed_from_u64`], and
+//! [`rngs::StdRng`] — a xoshiro256\*\* generator seeded via SplitMix64.
+//!
+//! Everything is deterministic per seed, which is what the suite's
+//! reproducible experiments rely on.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::{RngExt, SeedableRng};
+//!
+//! let mut a = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut b = rand::rngs::StdRng::seed_from_u64(7);
+//! assert_eq!(a.random_range(0..100u32), b.random_range(0..100u32));
+//! let x = a.random_range(10..20usize);
+//! assert!((10..20).contains(&x));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The object-safe core of a random-number generator: a stream of `u64`s.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (upper half of [`Rng::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Derived sampling methods, available on every [`Rng`].
+pub trait RngExt: Rng {
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, B: SampleRange<T>>(&mut self, range: B) -> T {
+        range.sample(&mut || self.next_u64())
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Generators constructible from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator deterministically from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Maps 64 random bits to a `f64` in `[0, 1)` (53-bit resolution).
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform integer in `[0, span)` by rejection sampling (no modulo bias).
+fn uniform_below(span: u64, next: &mut dyn FnMut() -> u64) -> u64 {
+    debug_assert!(span > 0);
+    // Accept v < k*span where k = floor(2^64 / span); 2^64 mod span
+    // rewritten in u64 arithmetic.
+    let rem = ((u64::MAX % span) + 1) % span;
+    let zone = u64::MAX - rem;
+    loop {
+        let v = next();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+/// A range that [`RngExt::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the raw `u64` source.
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + uniform_below(span, next) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full 64-bit domain.
+                    return lo.wrapping_add(next() as $t);
+                }
+                lo + uniform_below(span, next) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        self.start + unit_f64(next()) * (self.end - self.start)
+    }
+}
+
+/// Concrete generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The suite's standard generator: xoshiro256\*\* seeded via SplitMix64.
+    ///
+    /// Fast, high-quality, and deterministic per seed; not cryptographic.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion of the seed into the full state.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256** (Blackman & Vigna).
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = rngs::StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rngs::StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.random_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = r.random_range(0..=5u32);
+            assert!(y <= 5);
+            let f = r.random_range(-0.0..100.0f64);
+            assert!((0.0..100.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn singleton_ranges() {
+        let mut r = rngs::StdRng::seed_from_u64(2);
+        assert_eq!(r.random_range(7..8usize), 7);
+        assert_eq!(r.random_range(9..=9u64), 9);
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut r = rngs::StdRng::seed_from_u64(3);
+        assert!((0..64).all(|_| !r.random_bool(0.0)));
+        assert!((0..64).all(|_| r.random_bool(1.0)));
+        // p = 0.5 should produce both values in 64 draws.
+        let draws: Vec<bool> = (0..64).map(|_| r.random_bool(0.5)).collect();
+        assert!(draws.iter().any(|&b| b) && draws.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn works_through_mut_ref_and_dyn() {
+        let mut r = rngs::StdRng::seed_from_u64(4);
+        fn take_dyn(rng: &mut dyn Rng) -> u64 {
+            rng.random_range(0..10u64)
+        }
+        let v = take_dyn(&mut r);
+        assert!(v < 10);
+        let by_ref = &mut r;
+        let _ = by_ref.random_bool(0.5);
+    }
+}

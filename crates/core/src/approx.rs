@@ -23,6 +23,7 @@ use crate::oracle::Oracle;
 
 /// Tuning knobs for the approximate attack.
 #[derive(Clone, Debug)]
+#[must_use]
 pub struct AppSatConfig {
     /// Maximum outer rounds before giving up.
     pub max_rounds: usize,
@@ -213,7 +214,7 @@ mod tests {
     use super::*;
     use crate::oracle::SimOracle;
     use crate::verify::{random_sim_mismatches, verify_key};
-    use polykey_locking::{lock_rll, lock_sarlock_with_key, SarlockConfig};
+    use polykey_locking::{LockScheme, Rll, Sarlock};
     use polykey_netlist::GateKind;
     use rand::SeedableRng;
 
@@ -235,7 +236,7 @@ mod tests {
         // On RLL the DIP phase exhausts the key space: exact termination.
         let nl = sample_circuit();
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-        let locked = lock_rll(&nl, 5, &mut rng).unwrap();
+        let locked = Rll::new(5).with_seed(4).lock_random(&nl, &mut rng).unwrap();
         let mut oracle = SimOracle::new(&nl).unwrap();
         let outcome =
             appsat_attack(&locked.netlist, &mut oracle, &AppSatConfig::default()).unwrap();
@@ -251,17 +252,14 @@ mod tests {
         // approximate attack accepts a key with low sampled error quickly.
         let nl = sample_circuit();
         let key = Key::from_u64(0b101101, 6);
-        let locked =
-            lock_sarlock_with_key(&nl, &SarlockConfig::new(6), &key).unwrap();
+        let locked = Sarlock::new(6).lock(&nl, &key).unwrap();
         let mut oracle = SimOracle::new(&nl).unwrap();
-        let mut config = AppSatConfig::default();
-        config.dips_per_round = 2;
-        config.max_rounds = 8;
+        let config =
+            AppSatConfig { dips_per_round: 2, max_rounds: 8, ..AppSatConfig::default() };
         let outcome = appsat_attack(&locked.netlist, &mut oracle, &config).unwrap();
         let got = outcome.key.expect("candidate key");
         // The candidate errs on at most a couple of the 64 input patterns.
-        let mismatches =
-            random_sim_mismatches(&nl, &locked.netlist, &got, 512, 3).unwrap();
+        let mismatches = random_sim_mismatches(&nl, &locked.netlist, &got, 512, 3).unwrap();
         assert!(
             (mismatches as f64) / 512.0 <= 0.05,
             "approximate key should be nearly correct, {mismatches}/512 mismatches"

@@ -27,6 +27,11 @@ pub enum AttackError {
         /// What was wrong.
         message: String,
     },
+    /// An [`crate::AttackSession`] was misconfigured (e.g. no oracle).
+    SessionConfig {
+        /// What was wrong.
+        message: String,
+    },
     /// A structural netlist failure.
     Netlist(NetlistError),
     /// A CNF encoding failure.
@@ -47,6 +52,9 @@ impl std::fmt::Display for AttackError {
                 write!(f, "splitting effort {requested} exceeds {available} primary inputs")
             }
             AttackError::BadKeySet { message } => write!(f, "bad key set: {message}"),
+            AttackError::SessionConfig { message } => {
+                write!(f, "attack session misconfigured: {message}")
+            }
             AttackError::Netlist(e) => write!(f, "netlist error: {e}"),
             AttackError::Encode(e) => write!(f, "encode error: {e}"),
             AttackError::Miter(e) => write!(f, "miter error: {e}"),

@@ -4,30 +4,37 @@
 //! late-breaking paper *"On the One-Key Premise of Logic Locking"*, together
 //! with the classic oracle-guided SAT attack it builds on.
 //!
-//! ## The pieces
+//! ## The surface
 //!
-//! - [`sat_attack`] — the baseline oracle-guided SAT attack
-//!   (Subramanyan et al., HOST'15): miter refinement with distinguishing
-//!   input patterns over an incremental CDCL solver.
+//! One builder drives every attack scenario:
+//!
+//! - [`AttackSession`] — configure oracle, splitting effort, worker
+//!   threads, time budget, cancellation, and progress once; `run()`
+//!   returns an [`AttackReport`] with uniform [`AttackStats`] whether the
+//!   classic one-key SAT attack (`split_effort = 0`) or Algorithm 1's
+//!   `2^N` parallel sub-attacks ran.
+//! - [`AttackReport::recombine`] — Fig. 1(b): a MUX tree over the split
+//!   ports turns the sub-space keys into a keyless netlist equivalent to
+//!   the original design.
+//! - [`Oracle`] / [`SimOracle`] / [`RestrictedOracle`] — the attacker's
+//!   black-box chip access; any `Send` implementation plugs into a
+//!   session.
 //! - [`select_split_inputs`] — the paper's fan-out-cone split-port
 //!   heuristic plus ablation strategies.
-//! - [`multi_key_attack`] — Algorithm 1: cofactor the locked netlist on
-//!   `2^N` split-port assignments, re-synthesize each term, and attack the
-//!   terms independently (optionally in parallel).
-//! - [`recombine_multikey`] — Fig. 1(b): a MUX tree over the split ports
-//!   turns the sub-space keys into a keyless netlist equivalent to the
-//!   original design.
 //! - [`verify_key`] / [`verify_key_on_subspace`] — SAT-based key checks;
 //!   [`random_sim_mismatches`] for quick probabilistic screening.
-//! - [`Oracle`] / [`SimOracle`] / [`RestrictedOracle`] — the attacker's
-//!   black-box chip access.
+//! - [`appsat_attack`] — an AppSAT-style approximate attack, for contrast
+//!   with the paper's exact multi-key recovery.
+//!
+//! The pre-0.2 free functions [`sat_attack`] and [`multi_key_attack`]
+//! remain as deprecated shims for one release; new code builds sessions.
 //!
 //! ## End-to-end example
 //!
 //! ```
-//! use polykey_attack::{multi_key_attack, recombine_multikey, MultiKeyConfig};
+//! use polykey_attack::{AttackSession, SimOracle};
 //! use polykey_encode::{check_equivalence, EquivResult};
-//! use polykey_locking::{lock_sarlock_with_key, Key, SarlockConfig};
+//! use polykey_locking::{Key, LockScheme, Sarlock};
 //! use polykey_netlist::{GateKind, Netlist};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -39,16 +46,20 @@
 //! let g = nl.add_gate("g", GateKind::And, &[a, b])?;
 //! let y = nl.add_gate("y", GateKind::Xor, &[g, c])?;
 //! nl.mark_output(y)?;
-//! let locked = lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &Key::from_u64(5, 3))?;
+//! let locked = Sarlock::new(3).lock(&nl, &Key::from_u64(5, 3))?;
 //!
-//! // Algorithm 1 with N = 1: two parallel sub-attacks.
-//! let config = MultiKeyConfig::with_split_effort(1);
-//! let outcome = multi_key_attack(&locked.netlist, &nl, &config)?;
-//! assert!(outcome.is_complete());
+//! // Algorithm 1 with N = 1: two parallel sub-attacks over one oracle.
+//! let mut oracle = SimOracle::new(&nl)?;
+//! let report = AttackSession::builder()
+//!     .oracle(&mut oracle)
+//!     .split_effort(1)
+//!     .build()?
+//!     .run(&locked.netlist)?;
+//! assert!(report.is_complete());
 //!
 //! // Fig. 1(b): recombine the two (possibly wrong) keys — and prove the
 //! // result equivalent to the original design.
-//! let unlocked = recombine_multikey(&locked.netlist, &outcome.split_inputs, &outcome.keys)?;
+//! let unlocked = report.recombine(&locked.netlist)?;
 //! assert_eq!(check_equivalence(&nl, &unlocked)?, EquivResult::Equivalent);
 //! # Ok(())
 //! # }
@@ -63,18 +74,23 @@ mod multikey;
 mod oracle;
 mod recombine;
 mod sat_attack;
+mod session;
 mod split;
 mod verify;
 
 pub use approx::{appsat_attack, AppSatConfig, AppSatOutcome};
 pub use error::AttackError;
-pub use multikey::{
-    multi_key_attack, MultiKeyConfig, MultiKeyOutcome, SubKey, SubTaskReport,
-};
+pub use multikey::{MultiKeyConfig, MultiKeyOutcome, SubKey, SubTaskReport};
 pub use oracle::{Oracle, RestrictedOracle, SimOracle};
 pub use recombine::recombine_multikey;
-pub use sat_attack::{
-    sat_attack, AttackStatus, SatAttackConfig, SatAttackOutcome, SatAttackStats,
+pub use sat_attack::{AttackStatus, SatAttackConfig, SatAttackOutcome, SatAttackStats};
+pub use session::{
+    AttackReport, AttackSession, AttackSessionBuilder, AttackStats, CancelToken, ProgressEvent,
 };
 pub use split::{select_split_inputs, SplitStrategy};
 pub use verify::{random_sim_mismatches, verify_key, verify_key_on_subspace};
+
+#[allow(deprecated)]
+pub use multikey::multi_key_attack;
+#[allow(deprecated)]
+pub use sat_attack::sat_attack;

@@ -12,18 +12,93 @@
 //! on `std::thread::scope` threads, matching the paper's 16-core setup at
 //! `N = 4`.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use polykey_locking::Key;
 use polykey_netlist::{cofactor, cofactor_simplify, Netlist, NodeId};
 
 use crate::error::AttackError;
-use crate::oracle::{RestrictedOracle, SimOracle};
-use crate::sat_attack::{sat_attack, AttackStatus, SatAttackConfig, SatAttackOutcome};
+use crate::oracle::{Oracle, SimOracle};
+use crate::sat_attack::{
+    run_sat_attack, AttackStatus, RunCtl, SatAttackConfig, SatAttackOutcome,
+};
+use crate::session::ProgressEvent;
 use crate::split::{select_split_inputs, SplitStrategy};
+
+/// An oracle shared by concurrent sub-attacks: queries are serialized
+/// behind a mutex, so any `Send` oracle — simulated, restricted, or a
+/// custom hardware harness — serves all `2^N` terms.
+pub(crate) struct SharedOracle<'o> {
+    inner: Mutex<&'o mut (dyn Oracle + Send)>,
+    num_inputs: usize,
+    num_outputs: usize,
+}
+
+impl<'o> SharedOracle<'o> {
+    pub(crate) fn new(oracle: &'o mut (dyn Oracle + Send)) -> SharedOracle<'o> {
+        let num_inputs = oracle.num_inputs();
+        let num_outputs = oracle.num_outputs();
+        SharedOracle { inner: Mutex::new(oracle), num_inputs, num_outputs }
+    }
+
+    pub(crate) fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    pub(crate) fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+}
+
+/// One term's view of the shared oracle: split bits are forced to the
+/// term's pattern before each query, and queries are counted locally so
+/// per-term accounting survives the sharing.
+struct TermOracle<'a, 'o> {
+    shared: &'a SharedOracle<'o>,
+    forced: Vec<(usize, bool)>,
+    queries: u64,
+}
+
+impl Oracle for TermOracle<'_, '_> {
+    fn num_inputs(&self) -> usize {
+        self.shared.num_inputs()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.shared.num_outputs()
+    }
+
+    fn query(&mut self, input: &[bool]) -> Vec<bool> {
+        let mut forced_input = input.to_vec();
+        for &(i, v) in &self.forced {
+            forced_input[i] = v;
+        }
+        self.queries += 1;
+        self.shared.inner.lock().expect("oracle lock poisoned").query(&forced_input)
+    }
+
+    fn queries(&self) -> u64 {
+        self.queries
+    }
+}
+
+/// Worker-pool and instrumentation knobs for [`run_multi_key`], supplied
+/// by the [`crate::AttackSession`].
+#[derive(Default)]
+pub(crate) struct EngineOpts<'e> {
+    /// Worker threads for the `2^N` terms; `None` = one thread per term.
+    pub threads: Option<usize>,
+    /// Deadline + cancellation shared across all terms.
+    pub ctl: RunCtl<'e>,
+    /// Progress events (term started/finished, per-term DIPs).
+    pub progress: Option<&'e (dyn Fn(&ProgressEvent) + Sync)>,
+}
 
 /// Tuning knobs for the multi-key attack.
 #[derive(Clone, Debug)]
+#[must_use]
 pub struct MultiKeyConfig {
     /// The splitting effort `N`: the input space is divided into `2^N`
     /// terms. `N = 0` degenerates to the plain SAT attack.
@@ -80,6 +155,8 @@ pub struct SubTaskReport {
     pub dips: u64,
     /// Oracle queries issued by this term.
     pub oracle_queries: u64,
+    /// Solver conflicts in this term's SAT attack.
+    pub solver_conflicts: u64,
     /// Wall-clock time of this term (its own timer; terms overlap when
     /// parallel).
     pub wall_time: Duration,
@@ -141,16 +218,37 @@ impl MultiKeyOutcome {
 /// - [`AttackError::OracleMismatch`] if `original` and `locked` disagree on
 ///   interface arity.
 /// - Structural errors from cofactoring or encoding.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `AttackSession::builder().oracle(..).split_effort(n).build()?.run(locked)`"
+)]
 pub fn multi_key_attack(
     locked: &Netlist,
     original: &Netlist,
     config: &MultiKeyConfig,
 ) -> Result<MultiKeyOutcome, AttackError> {
-    if original.inputs().len() != locked.inputs().len() {
+    let mut oracle = SimOracle::new(original)?;
+    let shared = SharedOracle::new(&mut oracle);
+    let opts = EngineOpts {
+        threads: if config.parallel { None } else { Some(1) },
+        ..EngineOpts::default()
+    };
+    run_multi_key(locked, &shared, config, &opts)
+}
+
+/// Algorithm 1 over an arbitrary shared oracle — the engine behind both
+/// [`multi_key_attack`] and [`crate::AttackSession`].
+pub(crate) fn run_multi_key(
+    locked: &Netlist,
+    oracle: &SharedOracle<'_>,
+    config: &MultiKeyConfig,
+    opts: &EngineOpts<'_>,
+) -> Result<MultiKeyOutcome, AttackError> {
+    if oracle.num_inputs() != locked.inputs().len() {
         return Err(AttackError::OracleMismatch {
             what: "inputs",
             netlist: locked.inputs().len(),
-            oracle: original.inputs().len(),
+            oracle: oracle.num_inputs(),
         });
     }
     let start = Instant::now();
@@ -170,6 +268,7 @@ pub fn multi_key_attack(
         .collect();
 
     let terms: Vec<u64> = (0..(1u64 << n)).collect();
+    let num_terms = terms.len();
     let run_term = |pattern: u64| -> Result<(SubTaskReport, Option<SubKey>), AttackError> {
         let term_start = Instant::now();
         let pins: Vec<(NodeId, bool)> = split_inputs
@@ -182,6 +281,13 @@ pub fn multi_key_attack(
         } else {
             cofactor(locked, &pins)?
         };
+        if let Some(progress) = opts.progress {
+            progress(&ProgressEvent::TermStarted {
+                pattern,
+                terms: num_terms,
+                gates: restricted.num_gates(),
+            });
+        }
         let forced: Vec<(usize, bool)> = positions
             .iter()
             .enumerate()
@@ -189,30 +295,67 @@ pub fn multi_key_attack(
             .collect();
         let mut term_sat = config.sat.clone();
         term_sat.force_inputs = forced.clone();
-        let mut oracle = RestrictedOracle::new(SimOracle::new(original)?, forced);
-        let outcome: SatAttackOutcome = sat_attack(&restricted, &mut oracle, &term_sat)?;
+        let mut term_oracle = TermOracle { shared: oracle, forced, queries: 0 };
+        let on_dip = opts
+            .progress
+            .map(|progress| move |dips: u64| progress(&ProgressEvent::Dip { pattern, dips }));
+        let term_ctl = RunCtl {
+            deadline: opts.ctl.deadline,
+            cancel: opts.ctl.cancel,
+            on_dip: on_dip.as_ref().map(|f| f as &(dyn Fn(u64) + Sync)),
+        };
+        let outcome: SatAttackOutcome =
+            run_sat_attack(&restricted, &mut term_oracle, &term_sat, &term_ctl)?;
         let report = SubTaskReport {
             pattern,
             status: outcome.status,
             dips: outcome.stats.dips,
             oracle_queries: outcome.stats.oracle_queries,
+            solver_conflicts: outcome.stats.solver.conflicts,
             wall_time: term_start.elapsed(),
             gates_before: locked.num_gates(),
             gates_after: restricted.num_gates(),
         };
+        if let Some(progress) = opts.progress {
+            progress(&ProgressEvent::TermFinished {
+                pattern,
+                status: report.status,
+                dips: report.dips,
+                wall_time: report.wall_time,
+            });
+        }
         let key = outcome.key.map(|key| SubKey { pattern, key });
         Ok((report, key))
     };
 
-    let mut results: Vec<(SubTaskReport, Option<SubKey>)> = if config.parallel && n > 0 {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> =
-                terms.iter().map(|&pattern| scope.spawn(move || run_term(pattern))).collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("attack thread must not panic"))
-                .collect::<Result<Vec<_>, AttackError>>()
-        })?
+    // Dispatch the terms over a bounded worker pool: `threads = None`
+    // keeps the historical one-thread-per-term behavior (the paper's
+    // 16-core setup at N = 4); `threads = Some(k)` caps concurrency with
+    // workers pulling terms from a shared queue.
+    let workers = opts.threads.unwrap_or(num_terms).clamp(1, num_terms.max(1));
+    let mut results: Vec<(SubTaskReport, Option<SubKey>)> = if workers > 1 {
+        let next = AtomicUsize::new(0);
+        let per_worker: Vec<Vec<(SubTaskReport, Option<SubKey>)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut done = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(&pattern) = terms.get(i) else { break };
+                                done.push(run_term(pattern)?);
+                            }
+                            Ok::<_, AttackError>(done)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("attack thread must not panic"))
+                    .collect::<Result<Vec<_>, AttackError>>()
+            })?;
+        per_worker.into_iter().flatten().collect()
     } else {
         terms.iter().map(|&p| run_term(p)).collect::<Result<Vec<_>, _>>()?
     };
@@ -230,6 +373,9 @@ pub fn multi_key_attack(
 }
 
 #[cfg(test)]
+// The unit tests deliberately exercise the deprecated one-release shims;
+// the session surface is covered by `session.rs` and the integration tests.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use polykey_locking::{lock_sarlock_with_key, Key, SarlockConfig};
@@ -256,12 +402,7 @@ mod tests {
     }
 
     /// A sub-key must unlock its sub-space exactly.
-    fn check_subspace(
-        original: &Netlist,
-        locked: &Netlist,
-        split: &[NodeId],
-        sub: &SubKey,
-    ) {
+    fn check_subspace(original: &Netlist, locked: &Netlist, split: &[NodeId], sub: &SubKey) {
         let positions: Vec<usize> = split
             .iter()
             .map(|id| locked.inputs().iter().position(|p| p == id).unwrap())

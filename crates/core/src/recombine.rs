@@ -79,16 +79,13 @@ pub fn recombine_multikey(
     let const0 = out.add_const("mk$zero", false)?;
     let const1 = out.add_const("mk$one", true)?;
     let leaf = |b: bool| if b { const1 } else { const0 };
-    let selects: Vec<NodeId> = split_inputs
-        .iter()
-        .map(|id| map[id.index()].expect("inputs mapped"))
-        .collect();
+    let selects: Vec<NodeId> =
+        split_inputs.iter().map(|id| map[id.index()].expect("inputs mapped")).collect();
 
     // Drive each key port with a MUX tree over the split ports.
     for (j, &ki) in locked.key_inputs().iter().enumerate() {
-        let bits: Vec<bool> = (0..expected)
-            .map(|p| by_pattern[p].expect("checked").key.bit(j))
-            .collect();
+        let bits: Vec<bool> =
+            (0..expected).map(|p| by_pattern[p].expect("checked").key.bit(j)).collect();
         let driver = if bits.iter().all(|&b| b == bits[0]) {
             // All sub-keys agree on this bit: a plain constant.
             leaf(bits[0])
@@ -135,9 +132,9 @@ pub fn recombine_multikey(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::multikey::{multi_key_attack, MultiKeyConfig};
+    use crate::session::AttackSession;
     use polykey_encode::{check_equivalence, EquivResult};
-    use polykey_locking::{lock_sarlock_with_key, Key, SarlockConfig};
+    use polykey_locking::{Key, LockScheme, Sarlock};
     use polykey_netlist::{bits_of, GateKind, Simulator};
 
     fn majority3() -> Netlist {
@@ -157,16 +154,19 @@ mod tests {
     fn fig1b_recombination_is_equivalent_to_original() {
         // Full pipeline: lock → multi-key attack → recombine → formal check.
         let nl = majority3();
-        let locked =
-            lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &Key::from_u64(0b101, 3))
-                .unwrap();
-        let mut config = MultiKeyConfig::with_split_effort(2);
-        config.parallel = false;
-        let outcome = multi_key_attack(&locked.netlist, &nl, &config).unwrap();
-        assert!(outcome.is_complete());
+        let locked = Sarlock::new(3).lock(&nl, &Key::from_u64(0b101, 3)).unwrap();
+        let mut oracle = crate::oracle::SimOracle::new(&nl).unwrap();
+        let report = AttackSession::builder()
+            .oracle(&mut oracle)
+            .split_effort(2)
+            .threads(1)
+            .build()
+            .unwrap()
+            .run(&locked.netlist)
+            .unwrap();
+        assert!(report.is_complete());
 
-        let recombined =
-            recombine_multikey(&locked.netlist, &outcome.split_inputs, &outcome.keys).unwrap();
+        let recombined = report.recombine(&locked.netlist).unwrap();
         assert!(recombined.key_inputs().is_empty(), "recombined design is keyless");
         assert_eq!(
             check_equivalence(&nl, &recombined).unwrap(),
@@ -180,8 +180,7 @@ mod tests {
         // Hand-build the Fig. 1(b) scenario: two sub-keys, MUX on one bit.
         let nl = majority3();
         let correct = Key::from_u64(0b011, 3);
-        let locked =
-            lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &correct).unwrap();
+        let locked = Sarlock::new(3).lock(&nl, &correct).unwrap();
         let split = vec![locked.netlist.inputs()[0]];
         // For SARLock, a key unlocks the sub-space `x0 = v` iff it differs
         // from every input in that sub-space (or is correct). Keys whose
@@ -205,8 +204,7 @@ mod tests {
     #[test]
     fn missing_pattern_rejected() {
         let nl = majority3();
-        let locked =
-            lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &Key::from_u64(0, 3)).unwrap();
+        let locked = Sarlock::new(3).lock(&nl, &Key::from_u64(0, 3)).unwrap();
         let split = vec![locked.netlist.inputs()[0]];
         let keys = vec![SubKey { pattern: 0, key: Key::from_u64(0, 3) }];
         let err = recombine_multikey(&locked.netlist, &split, &keys).unwrap_err();
@@ -216,8 +214,7 @@ mod tests {
     #[test]
     fn duplicate_pattern_rejected() {
         let nl = majority3();
-        let locked =
-            lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &Key::from_u64(0, 3)).unwrap();
+        let locked = Sarlock::new(3).lock(&nl, &Key::from_u64(0, 3)).unwrap();
         let split = vec![locked.netlist.inputs()[0]];
         let keys = vec![
             SubKey { pattern: 1, key: Key::from_u64(0, 3) },
@@ -232,8 +229,7 @@ mod tests {
     #[test]
     fn wrong_key_width_rejected() {
         let nl = majority3();
-        let locked =
-            lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &Key::from_u64(0, 3)).unwrap();
+        let locked = Sarlock::new(3).lock(&nl, &Key::from_u64(0, 3)).unwrap();
         let keys = vec![SubKey { pattern: 0, key: Key::from_u64(0, 2) }];
         assert!(matches!(
             recombine_multikey(&locked.netlist, &[], &keys),
@@ -246,8 +242,7 @@ mod tests {
         // N = 0: recombination is just pinning the one recovered key.
         let nl = majority3();
         let correct = Key::from_u64(0b110, 3);
-        let locked =
-            lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &correct).unwrap();
+        let locked = Sarlock::new(3).lock(&nl, &correct).unwrap();
         let keys = vec![SubKey { pattern: 0, key: correct }];
         let recombined = recombine_multikey(&locked.netlist, &[], &keys).unwrap();
         assert_eq!(check_equivalence(&nl, &recombined).unwrap(), EquivResult::Equivalent);

@@ -26,9 +26,32 @@ use polykey_sat::{SolveResult, Solver, SolverConfig, SolverStats};
 
 use crate::error::AttackError;
 use crate::oracle::Oracle;
+use crate::session::CancelToken;
+
+/// Shared run control the [`crate::AttackSession`] threads through every
+/// engine call: an absolute deadline, a cancellation token, and a per-DIP
+/// progress hook.
+#[derive(Default)]
+pub(crate) struct RunCtl<'c> {
+    /// Absolute wall-clock deadline (merged with the per-config
+    /// `time_limit`, whichever is earlier).
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation, checked once per DIP-refinement
+    /// iteration (a running solver call completes first).
+    pub cancel: Option<&'c CancelToken>,
+    /// Called after each discovered DIP with the running DIP count.
+    pub on_dip: Option<&'c (dyn Fn(u64) + Sync)>,
+}
+
+impl RunCtl<'_> {
+    fn cancelled(&self) -> bool {
+        self.cancel.is_some_and(CancelToken::is_cancelled)
+    }
+}
 
 /// Tuning knobs for the SAT attack.
 #[derive(Clone, Debug, Default)]
+#[must_use]
 pub struct SatAttackConfig {
     /// Stop after this many DIPs (None = unlimited).
     pub max_dips: Option<u64>,
@@ -73,6 +96,8 @@ pub enum AttackStatus {
     DipLimit,
     /// Stopped at the configured time limit.
     TimeLimit,
+    /// Stopped by a [`crate::CancelToken`].
+    Cancelled,
     /// No key is consistent with the oracle responses (wrong oracle or
     /// corrupted netlist).
     Inconsistent,
@@ -147,10 +172,25 @@ impl SatAttackOutcome {
 /// # Ok(())
 /// # }
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `AttackSession::builder().oracle(..).build()?.run(locked)`"
+)]
 pub fn sat_attack(
     locked: &Netlist,
     oracle: &mut dyn Oracle,
     config: &SatAttackConfig,
+) -> Result<SatAttackOutcome, AttackError> {
+    run_sat_attack(locked, oracle, config, &RunCtl::default())
+}
+
+/// The DIP-refinement engine behind both [`sat_attack`] and
+/// [`crate::AttackSession`].
+pub(crate) fn run_sat_attack(
+    locked: &Netlist,
+    oracle: &mut dyn Oracle,
+    config: &SatAttackConfig,
+    ctl: &RunCtl<'_>,
 ) -> Result<SatAttackOutcome, AttackError> {
     if oracle.num_inputs() != locked.inputs().len() {
         return Err(AttackError::OracleMismatch {
@@ -167,6 +207,13 @@ pub fn sat_attack(
         });
     }
     let start = Instant::now();
+    // The earlier of the session deadline and this run's own time limit.
+    let deadline = match (ctl.deadline, config.time_limit) {
+        (Some(d), Some(limit)) => Some(d.min(start + limit)),
+        (Some(d), None) => Some(d),
+        (None, Some(limit)) => Some(start + limit),
+        (None, None) => None,
+    };
     let queries_at_start = oracle.queries();
     let mut solver = Solver::with_config(config.solver);
     let miter = build_miter(&mut solver, locked, locked)?;
@@ -197,10 +244,21 @@ pub fn sat_attack(
     };
 
     loop {
+        // Cooperative cancellation, once per refinement iteration.
+        if ctl.cancelled() {
+            return Ok(finish(
+                AttackStatus::Cancelled,
+                None,
+                dips,
+                dip_patterns,
+                &solver,
+                oracle,
+            ));
+        }
         // Respect the wall-clock budget across solver calls.
-        if let Some(limit) = config.time_limit {
-            let elapsed = start.elapsed();
-            if elapsed >= limit {
+        if let Some(dl) = deadline {
+            let now = Instant::now();
+            if now >= dl {
                 return Ok(finish(
                     AttackStatus::TimeLimit,
                     None,
@@ -210,7 +268,7 @@ pub fn sat_attack(
                     oracle,
                 ));
             }
-            solver.set_time_budget(Some(limit - elapsed));
+            solver.set_time_budget(Some(dl - now));
         }
         match solver.solve(&[miter.diff]) {
             SolveResult::Unknown => {
@@ -232,6 +290,9 @@ pub fn sat_attack(
                     .collect();
                 let response = oracle.query(&dip);
                 dips += 1;
+                if let Some(on_dip) = ctl.on_dip {
+                    on_dip(dips);
+                }
                 if config.record_dips {
                     dip_patterns.push(dip.clone());
                 }
@@ -272,9 +333,19 @@ pub fn sat_attack(
             SolveResult::Unsat => {
                 // No more DIPs: every remaining key is functionally correct.
                 // Key extraction must not assume the miter.
-                if let Some(limit) = config.time_limit {
-                    let elapsed = start.elapsed();
-                    if elapsed >= limit {
+                if ctl.cancelled() {
+                    return Ok(finish(
+                        AttackStatus::Cancelled,
+                        None,
+                        dips,
+                        dip_patterns,
+                        &solver,
+                        oracle,
+                    ));
+                }
+                if let Some(dl) = deadline {
+                    let now = Instant::now();
+                    if now >= dl {
                         return Ok(finish(
                             AttackStatus::TimeLimit,
                             None,
@@ -284,7 +355,7 @@ pub fn sat_attack(
                             oracle,
                         ));
                     }
-                    solver.set_time_budget(Some(limit - elapsed));
+                    solver.set_time_budget(Some(dl - now));
                 }
                 return match solver.solve(&[]) {
                     SolveResult::Sat => {
@@ -327,6 +398,9 @@ pub fn sat_attack(
 }
 
 #[cfg(test)]
+// The unit tests deliberately exercise the deprecated one-release shims;
+// the session surface is covered by `session.rs` and the integration tests.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::oracle::SimOracle;
@@ -466,9 +540,8 @@ mod tests {
         for i in 0..4 {
             big.add_input(format!("x{i}")).unwrap();
         }
-        let g = big
-            .add_gate("g", GateKind::And, &big.inputs().to_vec())
-            .unwrap();
+        let inputs = big.inputs().to_vec();
+        let g = big.add_gate("g", GateKind::And, &inputs).unwrap();
         big.mark_output(g).unwrap();
         let mut oracle = SimOracle::new(&big).unwrap();
         assert!(matches!(

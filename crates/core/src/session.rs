@@ -1,0 +1,763 @@
+//! The [`AttackSession`] builder: one attack surface for every scenario.
+//!
+//! A session bundles the attacker's oracle with every knob the suite's
+//! attacks share — splitting effort, worker threads, wall-clock budget,
+//! cancellation, progress reporting — behind a single [`AttackSession::run`]
+//! returning an [`AttackReport`]. `split_effort = 0` runs the classic
+//! one-key SAT attack; `split_effort = N > 0` runs Algorithm 1 with `2^N`
+//! sub-attacks. Either way the report carries uniform [`AttackStats`]
+//! (DIPs, oracle queries, solver conflicts, per-subtask wall times), so
+//! harnesses sweep schemes × efforts × circuits without caring which
+//! engine ran.
+//!
+//! # Examples
+//!
+//! ```
+//! use polykey_attack::{AttackSession, SimOracle};
+//! use polykey_encode::{check_equivalence, EquivResult};
+//! use polykey_locking::{Key, LockScheme, Sarlock};
+//! use polykey_netlist::{GateKind, Netlist};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A toy design, locked with SARLock (|K| = 3).
+//! let mut nl = Netlist::new("toy");
+//! let a = nl.add_input("a")?;
+//! let b = nl.add_input("b")?;
+//! let c = nl.add_input("c")?;
+//! let g = nl.add_gate("g", GateKind::And, &[a, b])?;
+//! let y = nl.add_gate("y", GateKind::Xor, &[g, c])?;
+//! nl.mark_output(y)?;
+//! let locked = Sarlock::new(3).lock(&nl, &Key::from_u64(5, 3))?;
+//!
+//! // Algorithm 1 with N = 1: two parallel sub-attacks.
+//! let mut oracle = SimOracle::new(&nl)?;
+//! let report = AttackSession::builder()
+//!     .oracle(&mut oracle)
+//!     .split_effort(1)
+//!     .build()?
+//!     .run(&locked.netlist)?;
+//! assert!(report.is_complete());
+//!
+//! // Fig. 1(b): recombine the sub-space keys — and prove the result
+//! // equivalent to the original design.
+//! let unlocked = report.recombine(&locked.netlist)?;
+//! assert_eq!(check_equivalence(&nl, &unlocked)?, EquivResult::Equivalent);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use polykey_locking::Key;
+use polykey_netlist::{Netlist, NodeId};
+use polykey_sat::SolverConfig;
+
+use crate::error::AttackError;
+use crate::multikey::{
+    run_multi_key, EngineOpts, MultiKeyConfig, MultiKeyOutcome, SharedOracle, SubKey,
+};
+use crate::oracle::Oracle;
+use crate::recombine::recombine_multikey;
+use crate::sat_attack::{
+    run_sat_attack, AttackStatus, RunCtl, SatAttackConfig, SatAttackOutcome,
+};
+use crate::split::SplitStrategy;
+
+/// A cloneable cooperative-cancellation handle.
+///
+/// Cancelling stops every sub-attack of the session at its next
+/// DIP-refinement iteration (a running solver call completes first); the
+/// affected runs report [`AttackStatus::Cancelled`].
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation (idempotent; visible to all clones).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Progress notifications delivered to [`AttackSessionBuilder::on_progress`].
+///
+/// Callbacks may arrive concurrently from the session's worker threads.
+#[derive(Clone, Debug)]
+pub enum ProgressEvent {
+    /// A sub-attack (term) is about to start. The plain SAT attack reports
+    /// one term with `pattern = 0`.
+    TermStarted {
+        /// The term's split-bit assignment.
+        pattern: u64,
+        /// Total number of terms in this session run.
+        terms: usize,
+        /// Gates in the netlist this term attacks (after cofactoring).
+        gates: usize,
+    },
+    /// A distinguishing input pattern was found.
+    Dip {
+        /// The term that found it.
+        pattern: u64,
+        /// That term's running DIP count.
+        dips: u64,
+    },
+    /// A sub-attack finished.
+    TermFinished {
+        /// The term's split-bit assignment.
+        pattern: u64,
+        /// How the term ended.
+        status: AttackStatus,
+        /// The term's final DIP count.
+        dips: u64,
+        /// The term's wall-clock time.
+        wall_time: Duration,
+    },
+}
+
+/// Uniform work counters, available from every [`AttackReport`].
+#[derive(Clone, Debug, Default)]
+pub struct AttackStats {
+    /// Distinguishing input patterns, summed over all sub-attacks.
+    pub dips: u64,
+    /// Oracle queries, summed over all sub-attacks.
+    pub oracle_queries: u64,
+    /// Solver conflicts, summed over all sub-attacks.
+    pub solver_conflicts: u64,
+    /// End-to-end wall-clock time of the session run.
+    pub wall_time: Duration,
+    /// Per-subtask wall times, in pattern order (one entry for the plain
+    /// SAT attack). Their maximum is the attack latency on a machine with
+    /// enough cores — the paper's headline metric.
+    pub subtask_wall_times: Vec<Duration>,
+}
+
+impl AttackStats {
+    /// The longest sub-task — the parallel-attack latency.
+    #[must_use]
+    pub fn max_subtask_time(&self) -> Duration {
+        self.subtask_wall_times.iter().max().copied().unwrap_or_default()
+    }
+}
+
+/// The result of [`AttackSession::run`], subsuming the one-key and
+/// multi-key outcome types behind shared accessors.
+#[derive(Clone, Debug)]
+pub enum AttackReport {
+    /// `split_effort = 0`: the classic oracle-guided SAT attack.
+    SingleKey(SatAttackOutcome),
+    /// `split_effort = N > 0`: Algorithm 1 with `2^N` sub-attacks.
+    MultiKey(MultiKeyOutcome),
+}
+
+impl AttackReport {
+    /// True iff every sub-attack ended in [`AttackStatus::Success`].
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        match self {
+            AttackReport::SingleKey(outcome) => outcome.status == AttackStatus::Success,
+            AttackReport::MultiKey(outcome) => outcome.is_complete(),
+        }
+    }
+
+    /// The overall status: [`AttackStatus::Success`] when complete,
+    /// otherwise the first non-success sub-attack status.
+    #[must_use]
+    pub fn status(&self) -> AttackStatus {
+        match self {
+            AttackReport::SingleKey(outcome) => outcome.status,
+            AttackReport::MultiKey(outcome) => outcome
+                .reports
+                .iter()
+                .map(|r| r.status)
+                .find(|&s| s != AttackStatus::Success)
+                .unwrap_or(AttackStatus::Success),
+        }
+    }
+
+    /// The recovered globally-correct key, when one exists: the one-key
+    /// attack's key, or the single term key of a multi-key run at `N = 0`.
+    #[must_use]
+    pub fn key(&self) -> Option<&Key> {
+        match self {
+            AttackReport::SingleKey(outcome) => outcome.key.as_ref(),
+            AttackReport::MultiKey(outcome) => {
+                match (&outcome.keys[..], &outcome.split_inputs[..]) {
+                    ([sub], []) => Some(&sub.key),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// The recovered sub-space keys: one per successful term (the one-key
+    /// attack yields a single `pattern = 0` entry).
+    #[must_use]
+    pub fn sub_keys(&self) -> Vec<SubKey> {
+        match self {
+            AttackReport::SingleKey(outcome) => {
+                outcome.key.clone().map(|key| SubKey { pattern: 0, key }).into_iter().collect()
+            }
+            AttackReport::MultiKey(outcome) => outcome.keys.clone(),
+        }
+    }
+
+    /// The splitting ports (empty for the one-key attack).
+    #[must_use]
+    pub fn split_inputs(&self) -> &[NodeId] {
+        match self {
+            AttackReport::SingleKey(_) => &[],
+            AttackReport::MultiKey(outcome) => &outcome.split_inputs,
+        }
+    }
+
+    /// Uniform work counters across both report kinds.
+    #[must_use]
+    pub fn stats(&self) -> AttackStats {
+        match self {
+            AttackReport::SingleKey(outcome) => AttackStats {
+                dips: outcome.stats.dips,
+                oracle_queries: outcome.stats.oracle_queries,
+                solver_conflicts: outcome.stats.solver.conflicts,
+                wall_time: outcome.stats.wall_time,
+                subtask_wall_times: vec![outcome.stats.wall_time],
+            },
+            AttackReport::MultiKey(outcome) => AttackStats {
+                dips: outcome.reports.iter().map(|r| r.dips).sum(),
+                oracle_queries: outcome.reports.iter().map(|r| r.oracle_queries).sum(),
+                solver_conflicts: outcome.reports.iter().map(|r| r.solver_conflicts).sum(),
+                wall_time: outcome.wall_time,
+                subtask_wall_times: outcome.reports.iter().map(|r| r.wall_time).collect(),
+            },
+        }
+    }
+
+    /// Builds the recombined, keyless netlist (Fig. 1(b)): the multi-key
+    /// MUX tree, or — for a one-key report — the locked design with the
+    /// recovered key pinned into the key ports.
+    ///
+    /// # Errors
+    ///
+    /// [`AttackError::BadKeySet`] if the run was incomplete (some term has
+    /// no key), plus structural netlist errors.
+    pub fn recombine(&self, locked: &Netlist) -> Result<Netlist, AttackError> {
+        match self {
+            AttackReport::SingleKey(_) => {
+                let keys = self.sub_keys();
+                recombine_multikey(locked, &[], &keys)
+            }
+            AttackReport::MultiKey(outcome) => {
+                recombine_multikey(locked, &outcome.split_inputs, &outcome.keys)
+            }
+        }
+    }
+
+    /// The underlying one-key outcome, if this was a `split_effort = 0`
+    /// run.
+    #[must_use]
+    pub fn as_single_key(&self) -> Option<&SatAttackOutcome> {
+        match self {
+            AttackReport::SingleKey(outcome) => Some(outcome),
+            AttackReport::MultiKey(_) => None,
+        }
+    }
+
+    /// The underlying multi-key outcome, if this was a `split_effort > 0`
+    /// run.
+    #[must_use]
+    pub fn as_multi_key(&self) -> Option<&MultiKeyOutcome> {
+        match self {
+            AttackReport::SingleKey(_) => None,
+            AttackReport::MultiKey(outcome) => Some(outcome),
+        }
+    }
+}
+
+type ProgressFn<'a> = dyn Fn(&ProgressEvent) + Send + Sync + 'a;
+
+/// Builder for [`AttackSession`] — see the [module docs](self) for the
+/// end-to-end example.
+#[must_use]
+pub struct AttackSessionBuilder<'a> {
+    oracle: Option<&'a mut (dyn Oracle + Send)>,
+    split_effort: usize,
+    strategy: SplitStrategy,
+    simplify: bool,
+    threads: Option<usize>,
+    time_budget: Option<Duration>,
+    max_dips: Option<u64>,
+    record_dips: bool,
+    textbook: bool,
+    solver: SolverConfig,
+    on_progress: Option<Box<ProgressFn<'a>>>,
+    cancel: Option<CancelToken>,
+}
+
+impl Default for AttackSessionBuilder<'_> {
+    /// Same as [`AttackSessionBuilder::new`].
+    fn default() -> Self {
+        AttackSessionBuilder::new()
+    }
+}
+
+impl<'a> AttackSessionBuilder<'a> {
+    /// Starts a builder with the defaults: plain SAT attack, re-synthesis
+    /// on, one thread per term, no limits.
+    pub fn new() -> AttackSessionBuilder<'a> {
+        AttackSessionBuilder {
+            oracle: None,
+            split_effort: 0,
+            strategy: SplitStrategy::default(),
+            simplify: true,
+            threads: None,
+            time_budget: None,
+            max_dips: None,
+            record_dips: true,
+            textbook: false,
+            solver: SolverConfig::default(),
+            on_progress: None,
+            cancel: None,
+        }
+    }
+
+    /// Sets the attacker's black-box oracle (required). Any `Send` oracle
+    /// composes: simulated, restricted, or custom.
+    pub fn oracle(mut self, oracle: &'a mut (dyn Oracle + Send)) -> Self {
+        self.oracle = Some(oracle);
+        self
+    }
+
+    /// Sets the splitting effort `N`: `0` (default) runs the classic SAT
+    /// attack, `N > 0` runs Algorithm 1 with `2^N` sub-attacks.
+    pub fn split_effort(mut self, n: usize) -> Self {
+        self.split_effort = n;
+        self
+    }
+
+    /// Sets how the `N` splitting ports are chosen (default: the paper's
+    /// fan-out-cone heuristic).
+    pub fn strategy(mut self, strategy: SplitStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Enables/disables per-term re-synthesis (Algorithm 1 line 4;
+    /// default on).
+    pub fn simplify(mut self, simplify: bool) -> Self {
+        self.simplify = simplify;
+        self
+    }
+
+    /// Caps the sub-attack worker threads. Default: one thread per term;
+    /// `1` forces sequential execution.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Sets a wall-clock budget for the whole run (shared by all terms);
+    /// exhausted runs report [`AttackStatus::TimeLimit`].
+    pub fn time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Stops each sub-attack after this many DIPs.
+    pub fn max_dips(mut self, max_dips: u64) -> Self {
+        self.max_dips = Some(max_dips);
+        self
+    }
+
+    /// Records every DIP pattern in the outcome (default on; turn off for
+    /// benchmarking).
+    pub fn record_dips(mut self, record: bool) -> Self {
+        self.record_dips = record;
+        self
+    }
+
+    /// Uses the textbook per-DIP encoding (full circuit copies) instead of
+    /// the optimized folded encoding — the formulation of the paper's
+    /// tooling, whose per-iteration CNF growth is what makes LUT insertion
+    /// expensive in Table 2.
+    pub fn textbook(mut self, textbook: bool) -> Self {
+        self.textbook = textbook;
+        self
+    }
+
+    /// Overrides the CDCL solver configuration.
+    pub fn solver(mut self, solver: SolverConfig) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Installs a progress callback (may be called from worker threads).
+    pub fn on_progress<F>(mut self, callback: F) -> Self
+    where
+        F: Fn(&ProgressEvent) + Send + Sync + 'a,
+    {
+        self.on_progress = Some(Box::new(callback));
+        self
+    }
+
+    /// Installs a cancellation token; cancelled runs report
+    /// [`AttackStatus::Cancelled`].
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Finalizes the session.
+    ///
+    /// # Errors
+    ///
+    /// [`AttackError::SessionConfig`] if no oracle was provided or
+    /// `threads == 0`.
+    pub fn build(self) -> Result<AttackSession<'a>, AttackError> {
+        let Some(oracle) = self.oracle else {
+            return Err(AttackError::SessionConfig {
+                message: "an oracle is required: call `.oracle(..)` before `.build()`".into(),
+            });
+        };
+        if self.threads == Some(0) {
+            return Err(AttackError::SessionConfig {
+                message: "`threads` must be at least 1".into(),
+            });
+        }
+        Ok(AttackSession {
+            oracle,
+            split_effort: self.split_effort,
+            strategy: self.strategy,
+            simplify: self.simplify,
+            threads: self.threads,
+            time_budget: self.time_budget,
+            max_dips: self.max_dips,
+            record_dips: self.record_dips,
+            textbook: self.textbook,
+            solver: self.solver,
+            on_progress: self.on_progress,
+            cancel: self.cancel,
+        })
+    }
+}
+
+/// A configured attack, ready to [`run`](AttackSession::run) against one
+/// or more locked netlists (the oracle must match each target's
+/// interface).
+#[must_use = "an attack session does nothing until `run` is called"]
+pub struct AttackSession<'a> {
+    oracle: &'a mut (dyn Oracle + Send),
+    split_effort: usize,
+    strategy: SplitStrategy,
+    simplify: bool,
+    threads: Option<usize>,
+    time_budget: Option<Duration>,
+    max_dips: Option<u64>,
+    record_dips: bool,
+    textbook: bool,
+    solver: SolverConfig,
+    on_progress: Option<Box<ProgressFn<'a>>>,
+    cancel: Option<CancelToken>,
+}
+
+impl<'a> AttackSession<'a> {
+    /// Starts building a session.
+    pub fn builder() -> AttackSessionBuilder<'a> {
+        AttackSessionBuilder::new()
+    }
+
+    /// Runs the configured attack against `locked`.
+    ///
+    /// # Errors
+    ///
+    /// - [`AttackError::OracleMismatch`] if the oracle's port counts
+    ///   disagree with the locked netlist.
+    /// - [`AttackError::SplitTooWide`] if the splitting effort exceeds the
+    ///   input count.
+    /// - Structural errors from cofactoring or encoding.
+    pub fn run(&mut self, locked: &Netlist) -> Result<AttackReport, AttackError> {
+        let deadline = self.time_budget.map(|budget| Instant::now() + budget);
+        let sat = SatAttackConfig {
+            max_dips: self.max_dips,
+            time_limit: None,
+            force_inputs: Vec::new(),
+            solver: self.solver,
+            record_dips: self.record_dips,
+            fold_dip_copies: !self.textbook,
+        };
+        let progress = self.on_progress.as_deref();
+        if self.split_effort == 0 {
+            if let Some(progress) = progress {
+                progress(&ProgressEvent::TermStarted {
+                    pattern: 0,
+                    terms: 1,
+                    gates: locked.num_gates(),
+                });
+            }
+            let on_dip = progress.map(|progress| {
+                move |dips: u64| progress(&ProgressEvent::Dip { pattern: 0, dips })
+            });
+            let ctl = RunCtl {
+                deadline,
+                cancel: self.cancel.as_ref(),
+                on_dip: on_dip.as_ref().map(|f| f as &(dyn Fn(u64) + Sync)),
+            };
+            let outcome = run_sat_attack(locked, self.oracle, &sat, &ctl)?;
+            if let Some(progress) = progress {
+                progress(&ProgressEvent::TermFinished {
+                    pattern: 0,
+                    status: outcome.status,
+                    dips: outcome.stats.dips,
+                    wall_time: outcome.stats.wall_time,
+                });
+            }
+            Ok(AttackReport::SingleKey(outcome))
+        } else {
+            // `MultiKeyConfig::parallel` is only read by the deprecated
+            // `multi_key_attack` shim; the engine's concurrency is governed
+            // by `EngineOpts::threads` below, so the default is left as-is.
+            let config = MultiKeyConfig {
+                split_effort: self.split_effort,
+                strategy: self.strategy,
+                simplify: self.simplify,
+                sat,
+                ..MultiKeyConfig::default()
+            };
+            let shared = SharedOracle::new(self.oracle);
+            let opts = EngineOpts {
+                threads: self.threads,
+                ctl: RunCtl { deadline, cancel: self.cancel.as_ref(), on_dip: None },
+                progress: progress.map(|p| p as &(dyn Fn(&ProgressEvent) + Sync)),
+            };
+            let outcome = run_multi_key(locked, &shared, &config, &opts)?;
+            Ok(AttackReport::MultiKey(outcome))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::SimOracle;
+    use polykey_locking::{LockScheme, Rll, Sarlock};
+    use polykey_netlist::GateKind;
+    use std::sync::Mutex;
+
+    fn majority3() -> Netlist {
+        let mut nl = Netlist::new("maj3");
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let c = nl.add_input("c").unwrap();
+        let ab = nl.add_gate("ab", GateKind::And, &[a, b]).unwrap();
+        let ac = nl.add_gate("ac", GateKind::And, &[a, c]).unwrap();
+        let bc = nl.add_gate("bc", GateKind::And, &[b, c]).unwrap();
+        let y = nl.add_gate("y", GateKind::Or, &[ab, ac, bc]).unwrap();
+        nl.mark_output(y).unwrap();
+        nl
+    }
+
+    #[test]
+    fn builder_requires_an_oracle() {
+        assert!(matches!(
+            AttackSession::builder().build(),
+            Err(AttackError::SessionConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let nl = majority3();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        assert!(matches!(
+            AttackSession::builder().oracle(&mut oracle).threads(0).build(),
+            Err(AttackError::SessionConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn single_key_run_breaks_rll() {
+        let nl = majority3();
+        let locked = Rll::new(4).with_seed(17).lock(&nl, &Key::from_u64(9, 4)).unwrap();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        let report = AttackSession::builder()
+            .oracle(&mut oracle)
+            .build()
+            .unwrap()
+            .run(&locked.netlist)
+            .unwrap();
+        assert!(report.is_complete());
+        assert_eq!(report.status(), AttackStatus::Success);
+        let key = report.key().expect("success implies key");
+        assert!(crate::verify::verify_key(&nl, &locked.netlist, key).unwrap());
+        let stats = report.stats();
+        assert_eq!(stats.oracle_queries, stats.dips);
+        assert_eq!(stats.subtask_wall_times.len(), 1);
+        // The single-key report recombines into a keyless equivalent too.
+        let unlocked = report.recombine(&locked.netlist).unwrap();
+        assert!(unlocked.key_inputs().is_empty());
+    }
+
+    #[test]
+    fn multi_key_run_with_thread_cap() {
+        let nl = majority3();
+        let locked = Sarlock::new(3).lock(&nl, &Key::from_u64(0b101, 3)).unwrap();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        let report = AttackSession::builder()
+            .oracle(&mut oracle)
+            .split_effort(2)
+            .threads(2)
+            .build()
+            .unwrap()
+            .run(&locked.netlist)
+            .unwrap();
+        assert!(report.is_complete());
+        assert!(report.key().is_none(), "N > 0 yields sub-space keys");
+        assert_eq!(report.sub_keys().len(), 4);
+        assert_eq!(report.stats().subtask_wall_times.len(), 4);
+        // Total oracle queries flowed through the one shared oracle.
+        assert_eq!(oracle.queries(), report.stats().oracle_queries);
+    }
+
+    #[test]
+    fn progress_events_cover_every_term() {
+        let nl = majority3();
+        let locked = Sarlock::new(3).lock(&nl, &Key::from_u64(2, 3)).unwrap();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        let events: Mutex<Vec<ProgressEvent>> = Mutex::new(Vec::new());
+        let report = AttackSession::builder()
+            .oracle(&mut oracle)
+            .split_effort(1)
+            .on_progress(|e| events.lock().unwrap().push(e.clone()))
+            .build()
+            .unwrap()
+            .run(&locked.netlist)
+            .unwrap();
+        assert!(report.is_complete());
+        let events = events.into_inner().unwrap();
+        let started: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                ProgressEvent::TermStarted { pattern, terms: 2, .. } => Some(*pattern),
+                _ => None,
+            })
+            .collect();
+        let finished =
+            events.iter().filter(|e| matches!(e, ProgressEvent::TermFinished { .. })).count();
+        let dip_total =
+            events.iter().filter(|e| matches!(e, ProgressEvent::Dip { .. })).count() as u64;
+        let mut started_sorted = started.clone();
+        started_sorted.sort_unstable();
+        assert_eq!(started_sorted, vec![0, 1]);
+        assert_eq!(finished, 2);
+        assert_eq!(dip_total, report.stats().dips);
+    }
+
+    #[test]
+    fn pre_cancelled_session_reports_cancelled() {
+        let nl = majority3();
+        let locked = Sarlock::new(3).lock(&nl, &Key::from_u64(7, 3)).unwrap();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let report = AttackSession::builder()
+            .oracle(&mut oracle)
+            .cancel_token(token.clone())
+            .build()
+            .unwrap()
+            .run(&locked.netlist)
+            .unwrap();
+        assert_eq!(report.status(), AttackStatus::Cancelled);
+        assert!(!report.is_complete());
+        assert!(report.key().is_none());
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_mid_run_via_progress_callback() {
+        let nl = majority3();
+        let locked = Sarlock::new(3).lock(&nl, &Key::from_u64(1, 3)).unwrap();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        let token = CancelToken::new();
+        let hook = token.clone();
+        let report = AttackSession::builder()
+            .oracle(&mut oracle)
+            .on_progress(move |e| {
+                if matches!(e, ProgressEvent::Dip { dips: 2, .. }) {
+                    hook.cancel();
+                }
+            })
+            .cancel_token(token)
+            .build()
+            .unwrap()
+            .run(&locked.netlist)
+            .unwrap();
+        // SARLock |K|=3 needs ~7 DIPs; cancelling at 2 stops early.
+        assert_eq!(report.status(), AttackStatus::Cancelled);
+        let stats = report.stats();
+        assert!(stats.dips >= 2 && stats.dips < 7, "dips = {}", stats.dips);
+    }
+
+    #[test]
+    fn zero_time_budget_reports_time_limit() {
+        let nl = majority3();
+        let locked = Rll::new(4).with_seed(17).lock(&nl, &Key::from_u64(3, 4)).unwrap();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        let report = AttackSession::builder()
+            .oracle(&mut oracle)
+            .time_budget(Duration::ZERO)
+            .build()
+            .unwrap()
+            .run(&locked.netlist)
+            .unwrap();
+        assert_eq!(report.status(), AttackStatus::TimeLimit);
+    }
+
+    #[test]
+    fn max_dips_caps_each_term() {
+        let nl = majority3();
+        let locked = Sarlock::new(3).lock(&nl, &Key::from_u64(6, 3)).unwrap();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        let report = AttackSession::builder()
+            .oracle(&mut oracle)
+            .max_dips(2)
+            .build()
+            .unwrap()
+            .run(&locked.netlist)
+            .unwrap();
+        assert_eq!(report.status(), AttackStatus::DipLimit);
+        assert_eq!(report.stats().dips, 2);
+    }
+
+    #[test]
+    fn one_session_runs_many_targets() {
+        // The session borrows the oracle; the same configured session
+        // attacks several locked variants of the same design.
+        let nl = majority3();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        let mut session = AttackSession::builder()
+            .oracle(&mut oracle)
+            .split_effort(1)
+            .threads(1)
+            .build()
+            .unwrap();
+        for seed in [1u64, 2, 3] {
+            let locked =
+                Rll::new(3).with_seed(seed).lock(&nl, &Key::from_u64(seed & 7, 3)).unwrap();
+            let report = session.run(&locked.netlist).unwrap();
+            assert!(report.is_complete(), "seed {seed}");
+        }
+    }
+}

@@ -68,7 +68,7 @@ pub fn select_split_inputs(
             let mut ranked = key_cone_influence(locked);
             // Sort by influence descending; ties broken by declaration
             // order (stable sort preserves it).
-            ranked.sort_by(|a, b| b.1.cmp(&a.1));
+            ranked.sort_by_key(|&(_, influence)| std::cmp::Reverse(influence));
             Ok(ranked.into_iter().take(n).map(|(id, _)| id).collect())
         }
         SplitStrategy::FirstInputs => Ok(locked.inputs()[..n].to_vec()),
@@ -78,7 +78,8 @@ pub fn select_split_inputs(
             let mut pool: Vec<NodeId> = locked.inputs().to_vec();
             let mut picks = Vec::with_capacity(n);
             for _ in 0..n {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state =
+                    state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                 let idx = (state >> 33) as usize % pool.len();
                 picks.push(pool.swap_remove(idx));
             }
@@ -90,22 +91,21 @@ pub fn select_split_inputs(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use polykey_locking::{lock_sarlock_with_key, Key, SarlockConfig};
+    use polykey_locking::{Key, LockScheme, Sarlock};
     use polykey_netlist::GateKind;
 
     /// A circuit where inputs 2 and 3 feed the comparator of SARLock.
     fn sarlock_on_inputs_2_3() -> Netlist {
         let mut nl = Netlist::new("t");
-        let ins: Vec<NodeId> =
-            (0..4).map(|i| nl.add_input(format!("x{i}")).unwrap()).collect();
+        let ins: Vec<NodeId> = (0..4).map(|i| nl.add_input(format!("x{i}")).unwrap()).collect();
         let g1 = nl.add_gate("g1", GateKind::And, &[ins[0], ins[1]]).unwrap();
         let g2 = nl.add_gate("g2", GateKind::Xor, &[g1, ins[2]]).unwrap();
         let g3 = nl.add_gate("g3", GateKind::Or, &[g2, ins[3]]).unwrap();
         nl.mark_output(g3).unwrap();
-        let mut config = SarlockConfig::new(2);
-        config.compare_inputs = Some(vec![2, 3]);
-        let locked =
-            lock_sarlock_with_key(&nl, &config, &Key::from_u64(0b01, 2)).unwrap();
+        let locked = Sarlock::new(2)
+            .with_compare_inputs(vec![2, 3])
+            .lock(&nl, &Key::from_u64(0b01, 2))
+            .unwrap();
         locked.netlist
     }
 

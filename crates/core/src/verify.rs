@@ -56,10 +56,8 @@ pub fn verify_key_on_subspace(
     key: &Key,
     forced: &[(usize, bool)],
 ) -> Result<bool, AttackError> {
-    let orig_pins: Vec<_> =
-        forced.iter().map(|&(i, v)| (original.inputs()[i], v)).collect();
-    let locked_pins: Vec<_> =
-        forced.iter().map(|&(i, v)| (locked.inputs()[i], v)).collect();
+    let orig_pins: Vec<_> = forced.iter().map(|&(i, v)| (original.inputs()[i], v)).collect();
+    let locked_pins: Vec<_> = forced.iter().map(|&(i, v)| (locked.inputs()[i], v)).collect();
     let orig_cof = cofactor(original, &orig_pins)?;
     let locked_cof = cofactor(locked, &locked_pins)?;
     let pinned = pin_keys(&locked_cof, key.bits())?;
@@ -104,7 +102,7 @@ pub fn random_sim_mismatches(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use polykey_locking::{lock_sarlock_with_key, SarlockConfig};
+    use polykey_locking::{LockScheme, Sarlock};
     use polykey_netlist::GateKind;
 
     fn xor3() -> Netlist {
@@ -121,8 +119,7 @@ mod tests {
     fn correct_key_verifies_wrong_key_fails() {
         let nl = xor3();
         let correct = Key::from_u64(0b010, 3);
-        let locked =
-            lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &correct).unwrap();
+        let locked = Sarlock::new(3).lock(&nl, &correct).unwrap();
         assert!(verify_key(&nl, &locked.netlist, &correct).unwrap());
         let wrong = Key::from_u64(0b011, 3);
         assert!(!verify_key(&nl, &locked.netlist, &wrong).unwrap());
@@ -135,8 +132,7 @@ mod tests {
         // inside that sub-space, so it is sub-space correct.
         let nl = xor3();
         let correct = Key::from_u64(0b000, 3);
-        let locked =
-            lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &correct).unwrap();
+        let locked = Sarlock::new(3).lock(&nl, &correct).unwrap();
         // Sub-space x0 = 0; key with bit0 = 1 (globally wrong).
         let sub_key = Key::from_u64(0b001, 3);
         assert!(!verify_key(&nl, &locked.netlist, &sub_key).unwrap(), "globally wrong");
@@ -154,12 +150,8 @@ mod tests {
     fn random_sim_finds_corruption() {
         let nl = xor3();
         let correct = Key::from_u64(0b110, 3);
-        let locked =
-            lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &correct).unwrap();
-        assert_eq!(
-            random_sim_mismatches(&nl, &locked.netlist, &correct, 200, 1).unwrap(),
-            0
-        );
+        let locked = Sarlock::new(3).lock(&nl, &correct).unwrap();
+        assert_eq!(random_sim_mismatches(&nl, &locked.netlist, &correct, 200, 1).unwrap(), 0);
         // A wrong SARLock key errs on exactly 1 of 8 patterns; 200 random
         // patterns hit it with overwhelming probability.
         let wrong = Key::from_u64(0b111, 3);

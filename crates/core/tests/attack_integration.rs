@@ -1,17 +1,14 @@
-//! Integration tests for the attack crate: cross-scheme attacks, engine
-//! mode equivalence, and multi-key invariants on generated circuits.
+//! Integration tests for the attack crate: cross-scheme attacks through
+//! the session surface, engine mode equivalence, and multi-key invariants
+//! on generated circuits.
 
 use polykey_attack::{
-    appsat_attack, multi_key_attack, recombine_multikey, sat_attack, select_split_inputs,
-    verify_key, verify_key_on_subspace, AppSatConfig, AttackStatus, MultiKeyConfig,
-    SatAttackConfig, SimOracle, SplitStrategy,
+    appsat_attack, select_split_inputs, verify_key, verify_key_on_subspace, AppSatConfig,
+    AttackReport, AttackSession, AttackStatus, Oracle, SimOracle, SplitStrategy,
 };
 use polykey_circuits::{arith, generate_random, RandomCircuitSpec};
 use polykey_encode::{check_equivalence, EquivResult};
-use polykey_locking::{
-    lock_antisat, lock_lut, lock_rll, lock_sarlock_with_key, AntisatConfig, Key, LutConfig,
-    SarlockConfig,
-};
+use polykey_locking::{AntiSat, Key, LockScheme, LutLock, Rll, Sarlock};
 use polykey_netlist::Netlist;
 use rand::SeedableRng;
 
@@ -19,30 +16,50 @@ fn rng(seed: u64) -> rand::rngs::StdRng {
     rand::rngs::StdRng::seed_from_u64(seed)
 }
 
+/// Runs a session with the given splitting effort against `locked`.
+fn attack(original: &Netlist, locked: &Netlist, split_effort: usize) -> AttackReport {
+    let mut oracle = SimOracle::new(original).expect("keyless oracle");
+    let mut session = AttackSession::builder()
+        .oracle(&mut oracle)
+        .split_effort(split_effort)
+        .build()
+        .expect("an oracle was provided");
+    let report = session.run(locked).expect("attack runs");
+    drop(session);
+    report
+}
+
 /// The textbook and optimized engines must agree on everything but cost.
 #[test]
 fn textbook_and_folded_engines_agree() {
     let original = generate_random(&RandomCircuitSpec::new("eng", 7, 3, 50, 11));
-    let locked =
-        lock_sarlock_with_key(&original, &SarlockConfig::new(5), &Key::from_u64(21, 5))
-            .expect("lockable");
+    let locked = Sarlock::new(5).lock(&original, &Key::from_u64(21, 5)).expect("lockable");
 
     let mut oracle = SimOracle::new(&original).expect("oracle");
-    let folded =
-        sat_attack(&locked.netlist, &mut oracle, &SatAttackConfig::new()).expect("runs");
+    let folded = AttackSession::builder()
+        .oracle(&mut oracle)
+        .build()
+        .unwrap()
+        .run(&locked.netlist)
+        .expect("runs");
 
     let mut oracle = SimOracle::new(&original).expect("oracle");
-    let textbook =
-        sat_attack(&locked.netlist, &mut oracle, &SatAttackConfig::textbook()).expect("runs");
+    let textbook = AttackSession::builder()
+        .oracle(&mut oracle)
+        .textbook(true)
+        .build()
+        .unwrap()
+        .run(&locked.netlist)
+        .expect("runs");
 
-    assert_eq!(folded.status, AttackStatus::Success);
-    assert_eq!(textbook.status, AttackStatus::Success);
+    assert_eq!(folded.status(), AttackStatus::Success);
+    assert_eq!(textbook.status(), AttackStatus::Success);
     // Identical solver-visible search problem ⇒ identical DIP sequence.
-    assert_eq!(folded.stats.dips, textbook.stats.dips);
-    let kf = folded.key.expect("key");
-    let kt = textbook.key.expect("key");
-    assert!(verify_key(&original, &locked.netlist, &kf).expect("verify"));
-    assert!(verify_key(&original, &locked.netlist, &kt).expect("verify"));
+    assert_eq!(folded.stats().dips, textbook.stats().dips);
+    let kf = folded.key().expect("key");
+    let kt = textbook.key().expect("key");
+    assert!(verify_key(&original, &locked.netlist, kf).expect("verify"));
+    assert!(verify_key(&original, &locked.netlist, kt).expect("verify"));
 }
 
 /// Multi-key attack across all split strategies still yields sub-space
@@ -50,26 +67,29 @@ fn textbook_and_folded_engines_agree() {
 #[test]
 fn all_split_strategies_give_subspace_correct_keys() {
     let original = generate_random(&RandomCircuitSpec::new("strat", 8, 3, 70, 5));
-    let locked =
-        lock_sarlock_with_key(&original, &SarlockConfig::new(5), &Key::from_u64(9, 5))
-            .expect("lockable");
+    let locked = Sarlock::new(5).lock(&original, &Key::from_u64(9, 5)).expect("lockable");
     for strategy in [
         SplitStrategy::FanoutCone,
         SplitStrategy::FirstInputs,
         SplitStrategy::Random { seed: 3 },
     ] {
-        let mut config = MultiKeyConfig::with_split_effort(2);
-        config.strategy = strategy;
-        config.parallel = false;
-        let outcome =
-            multi_key_attack(&locked.netlist, &original, &config).expect("attack runs");
-        assert!(outcome.is_complete(), "{strategy:?}");
-        let positions: Vec<usize> = outcome
-            .split_inputs
+        let mut oracle = SimOracle::new(&original).expect("oracle");
+        let report = AttackSession::builder()
+            .oracle(&mut oracle)
+            .split_effort(2)
+            .strategy(strategy)
+            .threads(1)
+            .build()
+            .unwrap()
+            .run(&locked.netlist)
+            .expect("attack runs");
+        assert!(report.is_complete(), "{strategy:?}");
+        let positions: Vec<usize> = report
+            .split_inputs()
             .iter()
             .map(|id| locked.netlist.inputs().iter().position(|p| p == id).expect("input"))
             .collect();
-        for sub in &outcome.keys {
+        for sub in report.sub_keys() {
             let forced: Vec<(usize, bool)> = positions
                 .iter()
                 .enumerate()
@@ -83,12 +103,8 @@ fn all_split_strategies_give_subspace_correct_keys() {
             );
         }
         // Recombination is equivalent regardless of strategy.
-        let rec = recombine_multikey(&locked.netlist, &outcome.split_inputs, &outcome.keys)
-            .expect("recombine");
-        assert_eq!(
-            check_equivalence(&original, &rec).expect("equiv"),
-            EquivResult::Equivalent
-        );
+        let rec = report.recombine(&locked.netlist).expect("recombine");
+        assert_eq!(check_equivalence(&original, &rec).expect("equiv"), EquivResult::Equivalent);
     }
 }
 
@@ -97,17 +113,21 @@ fn all_split_strategies_give_subspace_correct_keys() {
 #[test]
 fn table2_pipeline_miniature() {
     let original = arith::multiplier(6);
-    let cfg = LutConfig::small();
-    let locked = lock_lut(&original, &cfg, &mut rng(8)).expect("lockable");
+    let locked =
+        LutLock::small().with_seed(8).lock_random(&original, &mut rng(8)).expect("lockable");
 
-    let mut config = MultiKeyConfig::with_split_effort(4);
-    config.parallel = true;
-    config.sat.record_dips = false;
-    let outcome = multi_key_attack(&locked.netlist, &original, &config).expect("runs");
-    assert!(outcome.is_complete());
-    assert_eq!(outcome.reports.len(), 16);
-    let rec = recombine_multikey(&locked.netlist, &outcome.split_inputs, &outcome.keys)
-        .expect("recombine");
+    let mut oracle = SimOracle::new(&original).expect("oracle");
+    let report = AttackSession::builder()
+        .oracle(&mut oracle)
+        .split_effort(4)
+        .record_dips(false)
+        .build()
+        .unwrap()
+        .run(&locked.netlist)
+        .expect("runs");
+    assert!(report.is_complete());
+    assert_eq!(report.stats().subtask_wall_times.len(), 16);
+    let rec = report.recombine(&locked.netlist).expect("recombine");
     assert_eq!(check_equivalence(&original, &rec).expect("equiv"), EquivResult::Equivalent);
 }
 
@@ -115,11 +135,9 @@ fn table2_pipeline_miniature() {
 #[test]
 fn multikey_on_keyless_circuit() {
     let original = arith::parity(5);
-    let mut config = MultiKeyConfig::with_split_effort(1);
-    config.parallel = false;
-    let outcome = multi_key_attack(&original, &original, &config).expect("runs");
-    assert!(outcome.is_complete());
-    for sub in &outcome.keys {
+    let report = attack(&original, &original, 1);
+    assert!(report.is_complete());
+    for sub in report.sub_keys() {
         assert_eq!(sub.key.len(), 0);
     }
 }
@@ -128,7 +146,8 @@ fn multikey_on_keyless_circuit() {
 #[test]
 fn split_selection_invariants() {
     let original = generate_random(&RandomCircuitSpec::new("sel", 12, 4, 100, 77));
-    let locked = lock_rll(&original, 8, &mut rng(2)).expect("lockable");
+    let locked =
+        Rll::new(8).with_seed(2).lock_random(&original, &mut rng(2)).expect("lockable");
     for n in 0..=4 {
         for strategy in [
             SplitStrategy::FanoutCone,
@@ -156,40 +175,68 @@ fn split_selection_invariants() {
 #[test]
 fn appsat_on_antisat() {
     let original = arith::ripple_adder(3);
-    let locked =
-        lock_antisat(&original, &AntisatConfig::new(3), &mut rng(6)).expect("lockable");
+    let locked = AntiSat::new(3).lock_random(&original, &mut rng(6)).expect("lockable");
     let mut oracle = SimOracle::new(&original).expect("oracle");
-    let mut config = AppSatConfig::default();
-    config.queries_per_round = 128;
+    let config = AppSatConfig { queries_per_round: 128, ..AppSatConfig::default() };
     let outcome = appsat_attack(&locked.netlist, &mut oracle, &config).expect("runs");
     let key = outcome.key.expect("key");
     // Error must be tiny; for Anti-SAT usually exactly zero.
     assert!(outcome.estimated_error <= 0.05, "err {}", outcome.estimated_error);
-    let mismatches = polykey_attack::random_sim_mismatches(
-        &original,
-        &locked.netlist,
-        &key,
-        512,
-        9,
-    )
-    .expect("sim");
+    let mismatches =
+        polykey_attack::random_sim_mismatches(&original, &locked.netlist, &key, 512, 9)
+            .expect("sim");
     assert!(mismatches <= 25, "{mismatches}/512 mismatches");
 }
 
-/// Oracle query accounting flows through the multi-key attack reports.
+/// Oracle query accounting flows through the multi-key reports, and the
+/// shared session oracle sees exactly the sum of the per-term counts.
 #[test]
 fn multikey_oracle_accounting() {
     let original: Netlist = generate_random(&RandomCircuitSpec::new("acc", 6, 2, 40, 31));
-    let locked =
-        lock_sarlock_with_key(&original, &SarlockConfig::new(4), &Key::from_u64(6, 4))
-            .expect("lockable");
-    let mut config = MultiKeyConfig::with_split_effort(2);
-    config.parallel = false;
-    let outcome = multi_key_attack(&locked.netlist, &original, &config).expect("runs");
+    let locked = Sarlock::new(4).lock(&original, &Key::from_u64(6, 4)).expect("lockable");
+    let mut oracle = SimOracle::new(&original).expect("oracle");
+    let report = AttackSession::builder()
+        .oracle(&mut oracle)
+        .split_effort(2)
+        .threads(1)
+        .build()
+        .unwrap()
+        .run(&locked.netlist)
+        .expect("runs");
+    let outcome = report.as_multi_key().expect("N > 0");
     for r in &outcome.reports {
         assert_eq!(r.oracle_queries, r.dips, "term {:b}", r.pattern);
     }
     // Total DIPs across terms ≈ sum of sub-space eliminations; at minimum
     // every term requires at least one solver round.
-    assert!(outcome.reports.iter().map(|r| r.dips).sum::<u64>() >= 1);
+    assert!(report.stats().dips >= 1);
+    assert_eq!(oracle.queries(), report.stats().oracle_queries);
+}
+
+/// The deprecated free functions must keep producing the same results as
+/// the session surface for one release.
+#[allow(deprecated)]
+#[test]
+fn legacy_shims_agree_with_session() {
+    use polykey_attack::{multi_key_attack, sat_attack, MultiKeyConfig, SatAttackConfig};
+
+    let original = generate_random(&RandomCircuitSpec::new("shim", 6, 2, 40, 13));
+    let locked = Sarlock::new(4).lock(&original, &Key::from_u64(5, 4)).expect("lockable");
+
+    let mut oracle = SimOracle::new(&original).expect("oracle");
+    let legacy =
+        sat_attack(&locked.netlist, &mut oracle, &SatAttackConfig::new()).expect("runs");
+    let session = attack(&original, &locked.netlist, 0);
+    assert_eq!(legacy.status, session.status());
+    assert_eq!(legacy.stats.dips, session.stats().dips);
+
+    let mut config = MultiKeyConfig::with_split_effort(2);
+    config.parallel = false;
+    let legacy = multi_key_attack(&locked.netlist, &original, &config).expect("runs");
+    let session = attack(&original, &locked.netlist, 2);
+    assert!(legacy.is_complete() && session.is_complete());
+    let legacy_dips: Vec<u64> = legacy.reports.iter().map(|r| r.dips).collect();
+    let session_dips: Vec<u64> =
+        session.as_multi_key().expect("multi").reports.iter().map(|r| r.dips).collect();
+    assert_eq!(legacy_dips, session_dips);
 }

@@ -105,9 +105,9 @@ pub fn check_equivalence(left: &Netlist, right: &Netlist) -> Result<EquivResult,
     let mut solver = Solver::new();
     let miter = build_miter(&mut solver, left, right)?;
     match solver.solve(&[miter.diff]) {
-        SolveResult::Sat => Ok(EquivResult::Inequivalent {
-            counterexample: extract_inputs(&solver, &miter),
-        }),
+        SolveResult::Sat => {
+            Ok(EquivResult::Inequivalent { counterexample: extract_inputs(&solver, &miter) })
+        }
         SolveResult::Unsat => Ok(EquivResult::Equivalent),
         SolveResult::Unknown => unreachable!("no budget was set on the solver"),
     }
@@ -130,8 +130,7 @@ mod tests {
             nl.add_input("b").unwrap(),
             nl.add_input("c").unwrap(),
         ];
-        let g1 =
-            nl.add_gate("g1", GateKind::Xor, &[ins[order[0]], ins[order[1]]]).unwrap();
+        let g1 = nl.add_gate("g1", GateKind::Xor, &[ins[order[0]], ins[order[1]]]).unwrap();
         let g2 = nl.add_gate("g2", GateKind::Xor, &[g1, ins[order[2]]]).unwrap();
         nl.mark_output(g2).unwrap();
         nl
@@ -149,11 +148,8 @@ mod tests {
         let a = xor3("a", [0, 1, 2]);
         // Inequivalent: one output inverted.
         let mut b = Netlist::new("b");
-        let ins = [
-            b.add_input("a").unwrap(),
-            b.add_input("b").unwrap(),
-            b.add_input("c").unwrap(),
-        ];
+        let ins =
+            [b.add_input("a").unwrap(), b.add_input("b").unwrap(), b.add_input("c").unwrap()];
         let g1 = b.add_gate("g1", GateKind::Xor, &[ins[0], ins[1]]).unwrap();
         let g2 = b.add_gate("g2", GateKind::Xnor, &[g1, ins[2]]).unwrap();
         b.mark_output(g2).unwrap();

@@ -117,11 +117,7 @@ pub fn build_miter(
             &vec![crate::tseitin::PortBinding::Fresh; right.key_inputs().len()],
         )?
     } else {
-        encode(
-            solver,
-            right,
-            &Binding::with_shared_inputs(&shared, right.key_inputs().len()),
-        )?
+        encode(solver, right, &Binding::with_shared_inputs(&shared, right.key_inputs().len()))?
     };
 
     let keys_left: Vec<Lit> =

@@ -235,11 +235,8 @@ pub fn encode<S: ClauseSink>(
         values[id.index()] = Some(encode_gate(sink, node.kind(), &fanins));
     }
 
-    let outputs = netlist
-        .outputs()
-        .iter()
-        .map(|o| values[o.index()].expect("outputs encoded"))
-        .collect();
+    let outputs =
+        netlist.outputs().iter().map(|o| values[o.index()].expect("outputs encoded")).collect();
     let node_values = values.into_iter().map(|v| v.expect("all nodes encoded")).collect();
     Ok(EncodedCircuit { inputs: input_values, keys: key_values, outputs, node_values })
 }
@@ -311,11 +308,8 @@ pub fn encode_key_variant<S: ClauseSink>(
             node.fanins().iter().map(|f| values[f.index()].expect("topo order")).collect();
         values[id.index()] = Some(encode_gate(sink, node.kind(), &fanins));
     }
-    let outputs = netlist
-        .outputs()
-        .iter()
-        .map(|o| values[o.index()].expect("outputs encoded"))
-        .collect();
+    let outputs =
+        netlist.outputs().iter().map(|o| values[o.index()].expect("outputs encoded")).collect();
     let node_values = values.into_iter().map(|v| v.expect("all nodes encoded")).collect();
     Ok(EncodedCircuit { inputs: prior.inputs.clone(), keys: key_values, outputs, node_values })
 }
@@ -409,7 +403,12 @@ fn encode_xor2<S: ClauseSink>(sink: &mut S, a: CnfValue, b: CnfValue) -> CnfValu
 }
 
 /// `y = s ? d1 : d0`.
-fn encode_mux<S: ClauseSink>(sink: &mut S, s: CnfValue, d0: CnfValue, d1: CnfValue) -> CnfValue {
+fn encode_mux<S: ClauseSink>(
+    sink: &mut S,
+    s: CnfValue,
+    d0: CnfValue,
+    d1: CnfValue,
+) -> CnfValue {
     match s {
         CnfValue::Const(true) => d1,
         CnfValue::Const(false) => d0,
@@ -420,16 +419,12 @@ fn encode_mux<S: ClauseSink>(sink: &mut S, s: CnfValue, d0: CnfValue, d1: CnfVal
             match (d0, d1) {
                 (CnfValue::Const(false), CnfValue::Const(true)) => CnfValue::Lit(sl),
                 (CnfValue::Const(true), CnfValue::Const(false)) => CnfValue::Lit(!sl),
-                (CnfValue::Const(false), d1) => {
-                    encode_and(sink, &[CnfValue::Lit(sl), d1])
-                }
+                (CnfValue::Const(false), d1) => encode_and(sink, &[CnfValue::Lit(sl), d1]),
                 (CnfValue::Const(true), d1) => {
                     // ¬s ∨ d1 = ¬(s ∧ ¬d1)
                     encode_and(sink, &[CnfValue::Lit(sl), d1.negate()]).negate()
                 }
-                (d0, CnfValue::Const(false)) => {
-                    encode_and(sink, &[CnfValue::Lit(!sl), d0])
-                }
+                (d0, CnfValue::Const(false)) => encode_and(sink, &[CnfValue::Lit(!sl), d0]),
                 (d0, CnfValue::Const(true)) => {
                     encode_and(sink, &[CnfValue::Lit(!sl), d0.negate()]).negate()
                 }
@@ -553,8 +548,7 @@ mod tests {
         let mut solver = Solver::new();
         let enc1 = encode(&mut solver, &nl, &Binding::fresh(&nl)).unwrap();
         let shared: Vec<Lit> = enc1.inputs.iter().map(|v| v.lit().unwrap()).collect();
-        let enc2 =
-            encode(&mut solver, &nl, &Binding::with_shared_inputs(&shared, 0)).unwrap();
+        let enc2 = encode(&mut solver, &nl, &Binding::with_shared_inputs(&shared, 0)).unwrap();
         // Same inputs ⇒ same outputs: the miter over a circuit and itself
         // with shared ports is unsatisfiable when outputs are forced apart.
         let (o1, o2) = (enc1.outputs[0].lit().unwrap(), enc2.outputs[0].lit().unwrap());

@@ -13,7 +13,11 @@ use polykey_sat::{SolveResult, Solver};
 
 /// Builds a random DAG netlist with `num_inputs` inputs and `num_keys` key
 /// inputs from a byte recipe (deterministic, always valid).
-fn build_circuit(num_inputs: usize, num_keys: usize, recipe: &[(u8, u16, u16, u16)]) -> Netlist {
+fn build_circuit(
+    num_inputs: usize,
+    num_keys: usize,
+    recipe: &[(u8, u16, u16, u16)],
+) -> Netlist {
     let mut nl = Netlist::new("prop");
     let mut pool: Vec<NodeId> = Vec::new();
     for i in 0..num_inputs {
@@ -50,11 +54,8 @@ fn build_circuit(num_inputs: usize, num_keys: usize, recipe: &[(u8, u16, u16, u1
 }
 
 fn arb_circuit(num_inputs: usize, num_keys: usize) -> impl Strategy<Value = Netlist> {
-    proptest::collection::vec(
-        (any::<u8>(), any::<u16>(), any::<u16>(), any::<u16>()),
-        1..25,
-    )
-    .prop_map(move |recipe| build_circuit(num_inputs, num_keys, &recipe))
+    proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u16>(), any::<u16>()), 1..25)
+        .prop_map(move |recipe| build_circuit(num_inputs, num_keys, &recipe))
 }
 
 /// Solves the encoded circuit with pinned ports and compares each output

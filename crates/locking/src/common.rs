@@ -41,7 +41,7 @@ impl Key {
     }
 
     /// Samples a uniformly random key of the given width.
-    pub fn random<R: Rng>(len: usize, rng: &mut R) -> Key {
+    pub fn random<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Key {
         Key { bits: (0..len).map(|_| rng.random_bool(0.5)).collect() }
     }
 
@@ -126,6 +126,13 @@ pub enum LockError {
         /// Available capacity (meaning depends on the scheme).
         available: usize,
     },
+    /// A key of the wrong width was passed to [`crate::LockScheme::lock`].
+    KeyWidthMismatch {
+        /// The scheme's key width on this netlist.
+        expected: usize,
+        /// The width of the key that was passed.
+        got: usize,
+    },
     /// The netlist is too small for the scheme's structural needs.
     TooSmall {
         /// What was missing.
@@ -143,6 +150,9 @@ impl fmt::Display for LockError {
             }
             LockError::KeyTooWide { requested, available } => {
                 write!(f, "key width {requested} exceeds capacity {available}")
+            }
+            LockError::KeyWidthMismatch { expected, got } => {
+                write!(f, "key has {got} bits, scheme produces {expected}")
             }
             LockError::TooSmall { what } => write!(f, "netlist too small: needs {what}"),
             LockError::Netlist(e) => write!(f, "netlist error: {e}"),

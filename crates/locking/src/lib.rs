@@ -1,27 +1,37 @@
-//! # polykey-locking: logic locking schemes
+//! # polykey-locking: logic locking schemes behind one trait
 //!
-//! The four locking techniques the paper's evaluation touches:
+//! Every locking technique the paper's evaluation touches is a value
+//! implementing [`LockScheme`], so attacks, harnesses, and sweeps treat
+//! schemes as interchangeable parts (`Vec<Box<dyn LockScheme>>`):
 //!
-//! - [`lock_rll`] — random XOR/XNOR key-gate insertion (EPIC-style), the
+//! - [`Rll`] — random XOR/XNOR key-gate insertion (EPIC-style), the
 //!   baseline every oracle-guided attack breaks quickly;
-//! - [`lock_sarlock`] — SARLock point-function locking (Table 1 and the
+//! - [`Sarlock`] — SARLock point-function locking (Table 1 and the
 //!   Fig. 1(a) error distribution);
-//! - [`lock_antisat`] — Anti-SAT complementary blocks, a scheme whose
-//!   correct keys are non-unique by design;
-//! - [`lock_lut`] — two-stage LUT insertion (Table 2), which bloats the
+//! - [`AntiSat`] — Anti-SAT complementary blocks, a scheme whose correct
+//!   keys are non-unique by design;
+//! - [`LutLock`] — two-stage LUT insertion (Table 2), which bloats the
 //!   SAT attack's miter instead of its iteration count.
 //!
-//! Every scheme takes a pristine netlist plus an RNG, adds `keyinput{i}`
-//! ports, and returns a [`LockedCircuit`]: the locked netlist together with
-//! a correct [`Key`]. Locking is functionally invisible under the correct
-//! key — a property the test suites verify exhaustively on small circuits.
+//! Every scheme adds `keyinput{i}` ports to a pristine netlist and returns
+//! a [`LockedCircuit`]: the locked netlist together with a correct
+//! [`Key`]. [`LockScheme::lock`] makes the *requested* key correct;
+//! [`LockScheme::lock_random`] samples one. Locking is functionally
+//! invisible under the correct key — a property the test suites verify
+//! exhaustively on small circuits.
+//!
+//! The pre-0.2 free functions (`lock_rll`, `lock_sarlock`,
+//! `lock_sarlock_with_key`, `lock_antisat`, `lock_lut`) remain as
+//! deprecated shims for one release; new code constructs scheme values.
+//! [`lock_sarlock_on_signals`] (the defense-direction variant reading
+//! internal nets) stays a free function: it is parameterized by node ids,
+//! which no netlist-independent scheme value can carry.
 //!
 //! # Examples
 //!
 //! ```
-//! use rand::SeedableRng;
 //! use polykey_netlist::{GateKind, Netlist, Simulator};
-//! use polykey_locking::{lock_sarlock, SarlockConfig};
+//! use polykey_locking::{Key, LockScheme, Sarlock};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut nl = Netlist::new("toy");
@@ -30,8 +40,7 @@
 //! let y = nl.add_gate("y", GateKind::And, &[a, b])?;
 //! nl.mark_output(y)?;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
-//! let locked = lock_sarlock(&nl, &SarlockConfig::new(2), &mut rng)?;
+//! let locked = Sarlock::new(2).lock(&nl, &Key::from_u64(0b01, 2))?;
 //! assert_eq!(locked.netlist.key_inputs().len(), 2);
 //!
 //! // The correct key restores the original function.
@@ -50,9 +59,20 @@ mod common;
 mod lut;
 mod rll;
 mod sarlock;
+mod scheme;
 
-pub use antisat::{lock_antisat, AntisatConfig};
+pub use antisat::{AntiSat, AntisatConfig};
 pub use common::{Key, LockError, LockedCircuit};
-pub use lut::{lock_lut, LutConfig};
+pub use lut::{LutConfig, LutLock};
+pub use rll::Rll;
+pub use sarlock::{lock_sarlock_on_signals, Sarlock, SarlockConfig};
+pub use scheme::LockScheme;
+
+#[allow(deprecated)]
+pub use antisat::lock_antisat;
+#[allow(deprecated)]
+pub use lut::lock_lut;
+#[allow(deprecated)]
 pub use rll::lock_rll;
-pub use sarlock::{lock_sarlock, lock_sarlock_on_signals, lock_sarlock_with_key, SarlockConfig};
+#[allow(deprecated)]
+pub use sarlock::{lock_sarlock, lock_sarlock_with_key};

@@ -9,6 +9,9 @@
 //! decomposition is not published; see `DESIGN.md` §3). Every LUT is built
 //! as a MUX tree over its key bits, which makes the per-iteration miter CNF
 //! large — the property that slows the baseline SAT attack in Table 2.
+//!
+//! The scheme value is [`LutLock`]; the free function [`lock_lut`] is a
+//! deprecated shim kept for one release.
 
 use rand::{Rng, RngExt};
 
@@ -16,9 +19,130 @@ use polykey_netlist::analysis::{levels, transitive_fanout};
 use polykey_netlist::{GateKind, Netlist, NodeId};
 
 use crate::common::{key_name, require_unlocked, Key, LockError, LockedCircuit};
+use crate::scheme::{placement_rng, require_key_width, LockScheme};
 
-/// Configuration for [`lock_lut`].
+/// Two-stage LUT insertion as a [`LockScheme`].
+///
+/// The key bits are the LUT table entries. Per-entry polarity inverters
+/// (fixed at lock time) make the *requested* key program the canonical
+/// identity tables, so any key of the right width is a correct key for its
+/// own locked circuit — while wrong keys reprogram the tables and corrupt
+/// the function.
+///
+/// # Examples
+///
+/// ```
+/// use polykey_locking::{Key, LockScheme, LutLock};
+/// use polykey_netlist::{GateKind, Netlist};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a")?;
+/// let b = nl.add_input("b")?;
+/// let c = nl.add_input("c")?;
+/// let g = nl.add_gate("g", GateKind::And, &[a, b])?;
+/// let y = nl.add_gate("y", GateKind::Xor, &[g, c])?;
+/// nl.mark_output(y)?;
+///
+/// let scheme = LutLock::new(vec![2], 0).with_seed(3);
+/// assert_eq!(scheme.key_bits(), 4 + 2);
+/// let locked = scheme.lock(&nl, &Key::from_u64(0b10_1100, 6))?;
+/// assert_eq!(locked.netlist.key_inputs().len(), 6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[must_use]
+pub struct LutLock {
+    /// Input widths of the stage-1 LUTs. Each reads the protected wire (for
+    /// the first LUT) or tapped nets.
+    pub stage1: Vec<usize>,
+    /// Number of extra direct taps into the stage-2 LUT (its width is
+    /// `stage1.len() + stage2_extra`).
+    pub stage2_extra: usize,
+    /// Seed driving wire and tap selection (same seed ⇒ same placement).
+    pub seed: u64,
+}
+
+impl LutLock {
+    /// A LUT scheme with the given stage-1 widths and stage-2 extra taps.
+    pub fn new(stage1: Vec<usize>, stage2_extra: usize) -> LutLock {
+        LutLock { stage1, stage2_extra, seed: 0 }
+    }
+
+    /// The paper's configuration: two 6-input stage-1 LUTs and a 4-input
+    /// stage-2 LUT — a 14-input two-stage module with 144 key bits
+    /// (64 + 64 + 16).
+    pub fn paper() -> LutLock {
+        LutLock::new(vec![6, 6], 2)
+    }
+
+    /// A scaled-down configuration for quick runs: two 3-input stage-1 LUTs
+    /// and a 3-input stage-2 LUT (8 + 8 + 8 = 24 key bits, 7 tapped nets).
+    pub fn small() -> LutLock {
+        LutLock::new(vec![3, 3], 1)
+    }
+
+    /// Replaces the placement seed.
+    pub fn with_seed(mut self, seed: u64) -> LutLock {
+        self.seed = seed;
+        self
+    }
+
+    /// Total key bits: `Σ 2^w` over stage-1 plus `2^(len+extra)` for
+    /// stage 2.
+    #[must_use]
+    pub fn key_bits(&self) -> usize {
+        let s1: usize = self.stage1.iter().map(|w| 1usize << w).sum();
+        s1 + (1usize << (self.stage1.len() + self.stage2_extra))
+    }
+
+    /// Distinct circuit nets consumed by the module (the protected wire
+    /// counts as one).
+    #[must_use]
+    pub fn module_inputs(&self) -> usize {
+        self.stage1.iter().sum::<usize>() + self.stage2_extra
+    }
+}
+
+impl Default for LutLock {
+    /// The scaled-down [`LutLock::small`] configuration.
+    fn default() -> LutLock {
+        LutLock::small()
+    }
+}
+
+impl From<&LutConfig> for LutLock {
+    fn from(config: &LutConfig) -> LutLock {
+        LutLock::new(config.stage1.clone(), config.stage2_extra)
+    }
+}
+
+impl LockScheme for LutLock {
+    fn name(&self) -> &str {
+        "lut"
+    }
+
+    fn key_len(&self, _netlist: &Netlist) -> usize {
+        self.key_bits()
+    }
+
+    fn lock(&self, netlist: &Netlist, key: &Key) -> Result<LockedCircuit, LockError> {
+        require_key_width(self.key_bits(), key)?;
+        lock_lut_with(
+            netlist,
+            &self.stage1,
+            self.stage2_extra,
+            key,
+            &mut placement_rng(self.seed),
+        )
+    }
+}
+
+/// Configuration for the deprecated [`lock_lut`] shim; new code uses the
+/// [`LutLock`] scheme value directly.
 #[derive(Clone, Debug)]
+#[must_use]
 pub struct LutConfig {
     /// Input widths of the stage-1 LUTs. Each reads the protected wire (for
     /// the first LUT) or tapped nets.
@@ -29,15 +153,12 @@ pub struct LutConfig {
 }
 
 impl LutConfig {
-    /// The paper's configuration: two 6-input stage-1 LUTs and a 4-input
-    /// stage-2 LUT — a 14-input two-stage module with 144 key bits
-    /// (64 + 64 + 16).
+    /// The paper's configuration (see [`LutLock::paper`]).
     pub fn paper() -> LutConfig {
         LutConfig { stage1: vec![6, 6], stage2_extra: 2 }
     }
 
-    /// A scaled-down configuration for quick runs: two 3-input stage-1 LUTs
-    /// and a 3-input stage-2 LUT (8 + 8 + 8 = 24 key bits, 7 tapped nets).
+    /// The scaled-down configuration (see [`LutLock::small`]).
     pub fn small() -> LutConfig {
         LutConfig { stage1: vec![3, 3], stage2_extra: 1 }
     }
@@ -45,38 +166,37 @@ impl LutConfig {
     /// Total key bits: `Σ 2^w` over stage-1 plus `2^(len+extra)` for
     /// stage 2.
     pub fn key_bits(&self) -> usize {
-        let s1: usize = self.stage1.iter().map(|w| 1usize << w).sum();
-        s1 + (1usize << (self.stage1.len() + self.stage2_extra))
+        LutLock::from(self).key_bits()
     }
 
     /// Distinct circuit nets consumed by the module (the protected wire
     /// counts as one).
     pub fn module_inputs(&self) -> usize {
-        self.stage1.iter().sum::<usize>() + self.stage2_extra
+        LutLock::from(self).module_inputs()
     }
 }
 
-/// Locks `netlist` by splicing a two-stage LUT module into one wire.
+/// Locks `netlist` by splicing a two-stage LUT module into one wire, with
+/// the table programmed so `key` is correct.
 ///
-/// The correct key configures the first stage-1 LUT as an identity on the
-/// protected wire and the stage-2 LUT as an identity on that LUT's output;
-/// all other table entries are randomized, so the key is fully used.
-///
-/// # Errors
-///
-/// - [`LockError::AlreadyLocked`] if the netlist already has key inputs.
-/// - [`LockError::TooSmall`] if no wire has enough cycle-free tap
-///   candidates for the requested module size.
-pub fn lock_lut<R: Rng>(
+/// The canonical (correct-key) behavior configures the first stage-1 LUT
+/// as an identity on the protected wire and the stage-2 LUT as an identity
+/// on that LUT's output; the remaining table entries take the key's own
+/// bits, so the key is fully used. Per-entry inverters reconcile the
+/// requested key with the canonical tables.
+fn lock_lut_with(
     netlist: &Netlist,
-    config: &LutConfig,
-    rng: &mut R,
+    stage1: &[usize],
+    stage2_extra: usize,
+    key: &Key,
+    rng: &mut dyn Rng,
 ) -> Result<LockedCircuit, LockError> {
     require_unlocked(netlist)?;
-    if config.stage1.is_empty() {
+    if stage1.is_empty() {
         return Err(LockError::TooSmall { what: "at least one stage-1 lut" });
     }
-    let taps_needed = config.module_inputs() - 1; // protected wire is input 0
+    let spec = LutLock { stage1: stage1.to_vec(), stage2_extra, seed: 0 };
+    let taps_needed = spec.module_inputs() - 1; // protected wire is input 0
 
     // Choose a protected wire: an internal gate with enough nodes outside
     // its fanout cone to serve as taps.
@@ -91,7 +211,7 @@ pub fn lock_lut<R: Rng>(
         return Err(LockError::TooSmall { what: "at least one internal gate" });
     }
     let mut order: Vec<NodeId> = gates.clone();
-    // Deterministic shuffle driven by the caller's RNG.
+    // Deterministic shuffle driven by the placement RNG.
     for i in (1..order.len()).rev() {
         let j = rng.random_range(0..=i);
         order.swap(i, j);
@@ -146,12 +266,11 @@ pub fn lock_lut<R: Rng>(
         chosen = Some((target, taps));
         break;
     }
-    let (target, taps) = chosen.ok_or(LockError::TooSmall {
-        what: "a wire with enough cycle-free tap candidates",
-    })?;
+    let (target, taps) = chosen
+        .ok_or(LockError::TooSmall { what: "a wire with enough cycle-free tap candidates" })?;
 
     let mut locked = netlist.clone();
-    locked.set_name(format!("{}_lut{}", netlist.name(), config.key_bits()));
+    locked.set_name(format!("{}_lut{}", netlist.name(), spec.key_bits()));
 
     // Splice preparation: insert a buffer after the protected wire FIRST, so
     // every *original* consumer reads the buffer. The LUT module (built
@@ -164,7 +283,7 @@ pub fn lock_lut<R: Rng>(
     };
 
     // Allocate all key inputs up front, stage-1 tables first.
-    let total_keys = config.key_bits();
+    let total_keys = spec.key_bits();
     let key_nodes: Vec<NodeId> = (0..total_keys)
         .map(|i| {
             let name = key_name(&locked, i);
@@ -172,29 +291,45 @@ pub fn lock_lut<R: Rng>(
         })
         .collect::<Result<_, _>>()?;
 
-    // Correct key: LUT 0 of stage 1 = identity on its top select bit (the
-    // protected wire, wired to the MSB so it feeds only the tree root);
-    // other stage-1 LUTs randomized; stage-2 = identity on select bit 0
-    // (= LUT 0's output).
-    let mut key_bits: Vec<bool> = (0..total_keys).map(|_| rng.random_bool(0.5)).collect();
+    // Canonical (correct-key) table: LUT 0 of stage 1 = identity on its
+    // top select bit (the protected wire, wired to the MSB so it feeds
+    // only the tree root); other stage-1 LUTs take the key's own bits;
+    // stage-2 = identity on select bit 0 (= LUT 0's output).
+    let mut canonical: Vec<bool> = (0..total_keys).map(|i| key.bit(i)).collect();
     {
-        let w0 = config.stage1[0];
-        for idx in 0..(1usize << w0) {
-            key_bits[idx] = idx >> (w0 - 1) & 1 == 1; // table[i] = MSB of i
+        let w0 = stage1[0];
+        for (idx, slot) in canonical.iter_mut().enumerate().take(1usize << w0) {
+            *slot = idx >> (w0 - 1) & 1 == 1; // table[i] = MSB of i
         }
-        let s1_total: usize = config.stage1.iter().map(|w| 1usize << w).sum();
-        let w2 = config.stage1.len() + config.stage2_extra;
+        let s1_total: usize = stage1.iter().map(|w| 1usize << w).sum();
+        let w2 = stage1.len() + stage2_extra;
         for idx in 0..(1usize << w2) {
-            key_bits[s1_total + idx] = idx & 1 == 1;
+            canonical[s1_total + idx] = idx & 1 == 1;
         }
     }
+
+    // Table-entry drivers: where the requested key bit already equals the
+    // canonical entry the key input drives the entry directly; elsewhere a
+    // fixed inverter reconciles them, so the requested key programs the
+    // canonical tables exactly.
+    let entries: Vec<NodeId> = key_nodes
+        .iter()
+        .enumerate()
+        .map(|(idx, &k)| {
+            if key.bit(idx) == canonical[idx] {
+                Ok(k)
+            } else {
+                locked.add_gate(format!("lut_inv{idx}"), GateKind::Not, &[k])
+            }
+        })
+        .collect::<Result<_, _>>()?;
 
     // Build stage 1. The first LUT's selects are [taps…, target] (target
     // last = MSB); later LUTs read taps only.
     let mut tap_iter = taps.into_iter();
     let mut key_off = 0usize;
-    let mut stage1_outs = Vec::with_capacity(config.stage1.len());
-    for (li, &w) in config.stage1.iter().enumerate() {
+    let mut stage1_outs = Vec::with_capacity(stage1.len());
+    for (li, &w) in stage1.iter().enumerate() {
         let mut selects = Vec::with_capacity(w);
         let fill = if li == 0 { w - 1 } else { w };
         while selects.len() < fill {
@@ -203,25 +338,64 @@ pub fn lock_lut<R: Rng>(
         if li == 0 {
             selects.push(target);
         }
-        let table = &key_nodes[key_off..key_off + (1 << w)];
+        let table = &entries[key_off..key_off + (1 << w)];
         key_off += 1 << w;
         let out = build_mux_tree(&mut locked, &selects, table, &format!("lut{li}"))?;
         stage1_outs.push(out);
     }
     // Stage 2: selects are the stage-1 outputs plus extra taps.
     let mut selects2 = stage1_outs;
-    for _ in 0..config.stage2_extra {
+    for _ in 0..stage2_extra {
         selects2.push(tap_iter.next().expect("tap count precomputed"));
     }
     let w2 = selects2.len();
-    let table2 = &key_nodes[key_off..key_off + (1 << w2)];
+    let table2 = &entries[key_off..key_off + (1 << w2)];
     let module_out = build_mux_tree(&mut locked, &selects2, table2, "lut_s2")?;
 
     // Close the splice: original consumers (reading the buffer) now see the
     // module output.
     locked.replace_fanin(splice_buf, target, module_out)?;
 
-    Ok(LockedCircuit { netlist: locked, key: Key::new(key_bits) })
+    Ok(LockedCircuit { netlist: locked, key: key.clone() })
+}
+
+/// Locks `netlist` by splicing a two-stage LUT module into one wire, with
+/// a partially random correct key.
+///
+/// # Errors
+///
+/// - [`LockError::AlreadyLocked`] if the netlist already has key inputs.
+/// - [`LockError::TooSmall`] if no wire has enough cycle-free tap
+///   candidates for the requested module size.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `LutLock::new(stage1, stage2_extra)` with `LockScheme::lock` or `lock_random`"
+)]
+pub fn lock_lut<R: Rng>(
+    netlist: &Netlist,
+    config: &LutConfig,
+    rng: &mut R,
+) -> Result<LockedCircuit, LockError> {
+    if config.stage1.is_empty() {
+        return Err(LockError::TooSmall { what: "at least one stage-1 lut" });
+    }
+    // Historical behavior: identity tables with randomized free entries.
+    // Sampling the key this way makes it equal to the canonical table, so
+    // no reconciling inverters are inserted.
+    let total = config.key_bits();
+    let mut bits: Vec<bool> = (0..total).map(|_| rng.random_bool(0.5)).collect();
+    {
+        let w0 = config.stage1[0];
+        for (idx, slot) in bits.iter_mut().enumerate().take(1usize << w0) {
+            *slot = idx >> (w0 - 1) & 1 == 1;
+        }
+        let s1_total: usize = config.stage1.iter().map(|w| 1usize << w).sum();
+        let w2 = config.stage1.len() + config.stage2_extra;
+        for idx in 0..(1usize << w2) {
+            bits[s1_total + idx] = idx & 1 == 1;
+        }
+    }
+    lock_lut_with(netlist, &config.stage1, config.stage2_extra, &Key::new(bits), rng)
 }
 
 /// Builds a `w`-input LUT as a MUX tree: `selects[j]` is select bit `j`
@@ -260,8 +434,7 @@ mod tests {
 
     fn sample() -> Netlist {
         let mut nl = Netlist::new("s");
-        let ins: Vec<NodeId> =
-            (0..5).map(|i| nl.add_input(format!("x{i}")).unwrap()).collect();
+        let ins: Vec<NodeId> = (0..5).map(|i| nl.add_input(format!("x{i}")).unwrap()).collect();
         let g1 = nl.add_gate("g1", GateKind::And, &[ins[0], ins[1]]).unwrap();
         let g2 = nl.add_gate("g2", GateKind::Or, &[g1, ins[2]]).unwrap();
         let g3 = nl.add_gate("g3", GateKind::Xor, &[ins[3], ins[4]]).unwrap();
@@ -274,21 +447,24 @@ mod tests {
 
     #[test]
     fn config_arithmetic() {
-        let paper = LutConfig::paper();
+        let paper = LutLock::paper();
         assert_eq!(paper.key_bits(), 64 + 64 + 16);
         assert_eq!(paper.module_inputs(), 14);
-        let small = LutConfig::small();
+        let small = LutLock::small();
         assert_eq!(small.key_bits(), 24);
         assert_eq!(small.module_inputs(), 7);
+        // The legacy config mirrors the scheme arithmetic.
+        assert_eq!(LutConfig::paper().key_bits(), paper.key_bits());
+        assert_eq!(LutConfig::small().module_inputs(), small.module_inputs());
     }
 
     #[test]
     fn correct_key_unlocks() {
         let nl = sample();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let cfg = LutConfig { stage1: vec![2, 2], stage2_extra: 0 };
-        let locked = lock_lut(&nl, &cfg, &mut rng).unwrap();
-        assert_eq!(locked.netlist.key_inputs().len(), cfg.key_bits());
+        let scheme = LutLock::new(vec![2, 2], 0).with_seed(3);
+        let key = Key::random(scheme.key_bits(), &mut rand::rngs::StdRng::seed_from_u64(9));
+        let locked = scheme.lock(&nl, &key).unwrap();
+        assert_eq!(locked.netlist.key_inputs().len(), scheme.key_bits());
         locked.netlist.validate().unwrap();
 
         let mut orig = Simulator::new(&nl).unwrap();
@@ -307,13 +483,13 @@ mod tests {
     fn random_wrong_keys_usually_corrupt() {
         let nl = sample();
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let cfg = LutConfig { stage1: vec![2, 2], stage2_extra: 0 };
-        let locked = lock_lut(&nl, &cfg, &mut rng).unwrap();
+        let scheme = LutLock::new(vec![2, 2], 0).with_seed(3);
+        let locked = scheme.lock_random(&nl, &mut rng).unwrap();
         let mut orig = Simulator::new(&nl).unwrap();
         let mut lsim = Simulator::new(&locked.netlist).unwrap();
         let mut corrupting = 0;
-        for trial in 0..20u64 {
-            let key = Key::random(cfg.key_bits(), &mut rng);
+        for _ in 0..20u64 {
+            let key = Key::random(scheme.key_bits(), &mut rng);
             let wrong = (0..32u64).any(|v| {
                 let bits = bits_of(v, 5);
                 lsim.eval(&bits, key.bits()) != orig.eval(&bits, &[])
@@ -321,7 +497,6 @@ mod tests {
             if wrong {
                 corrupting += 1;
             }
-            let _ = trial;
         }
         assert!(corrupting >= 10, "most random keys corrupt, got {corrupting}/20");
     }
@@ -330,9 +505,9 @@ mod tests {
     fn several_seeds_choose_valid_splices() {
         let nl = sample();
         for seed in 0..10 {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            let cfg = LutConfig { stage1: vec![2], stage2_extra: 1 };
-            let locked = lock_lut(&nl, &cfg, &mut rng).unwrap();
+            let scheme = LutLock::new(vec![2], 1).with_seed(seed);
+            let key = Key::from_u64(seed.wrapping_mul(0x9E37) & 0x3F, scheme.key_bits());
+            let locked = scheme.lock(&nl, &key).unwrap();
             locked.netlist.validate().unwrap();
             let mut orig = Simulator::new(&nl).unwrap();
             let mut lsim = Simulator::new(&locked.netlist).unwrap();
@@ -350,18 +525,53 @@ mod tests {
     #[test]
     fn too_large_module_rejected() {
         let nl = sample();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-        let cfg = LutConfig { stage1: vec![6, 6], stage2_extra: 2 };
-        assert!(matches!(lock_lut(&nl, &cfg, &mut rng), Err(LockError::TooSmall { .. })));
+        let scheme = LutLock::paper();
+        let key = Key::new(vec![false; scheme.key_bits()]);
+        assert!(matches!(scheme.lock(&nl, &key), Err(LockError::TooSmall { .. })));
     }
 
     #[test]
     fn key_width_matches_config() {
         let nl = sample();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let cfg = LutConfig { stage1: vec![3], stage2_extra: 1 };
-        let locked = lock_lut(&nl, &cfg, &mut rng).unwrap();
-        assert_eq!(locked.key.len(), cfg.key_bits());
-        assert_eq!(locked.netlist.key_inputs().len(), cfg.key_bits());
+        let scheme = LutLock::new(vec![3], 1).with_seed(1);
+        let key = Key::from_u64(0x5A5A, scheme.key_bits());
+        let locked = scheme.lock(&nl, &key).unwrap();
+        assert_eq!(locked.key.len(), scheme.key_bits());
+        assert_eq!(locked.netlist.key_inputs().len(), scheme.key_bits());
+    }
+
+    #[allow(deprecated)]
+    mod shims {
+        use super::*;
+
+        #[test]
+        fn shim_key_has_identity_tables_and_unlocks() {
+            let nl = sample();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+            let cfg = LutConfig { stage1: vec![2, 2], stage2_extra: 0 };
+            let locked = lock_lut(&nl, &cfg, &mut rng).unwrap();
+            assert_eq!(locked.key.len(), cfg.key_bits());
+            locked.netlist.validate().unwrap();
+            // LUT 0 identity on MSB: entries 0,1 false and 2,3 true.
+            assert_eq!(
+                &locked.key.bits()[..4],
+                &[false, false, true, true],
+                "canonical stage-1 identity table"
+            );
+            let mut orig = Simulator::new(&nl).unwrap();
+            let mut lsim = Simulator::new(&locked.netlist).unwrap();
+            for v in 0..32u64 {
+                let bits = bits_of(v, 5);
+                assert_eq!(lsim.eval(&bits, locked.key.bits()), orig.eval(&bits, &[]));
+            }
+        }
+
+        #[test]
+        fn shim_rejects_oversized_module() {
+            let nl = sample();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+            let cfg = LutConfig { stage1: vec![6, 6], stage2_extra: 2 };
+            assert!(matches!(lock_lut(&nl, &cfg, &mut rng), Err(LockError::TooSmall { .. })));
+        }
     }
 }

@@ -4,46 +4,92 @@
 //! into each. An XOR key gate is transparent when its key bit is 0, an XNOR
 //! key gate when its key bit is 1, so the inserted polarity hides the
 //! correct key value from casual inspection.
+//!
+//! The scheme value is [`Rll`]; the free function [`lock_rll`] is a
+//! deprecated shim kept for one release.
 
 use rand::{Rng, RngExt};
 
 use polykey_netlist::{GateKind, Netlist, NodeId};
 
 use crate::common::{key_name, require_unlocked, Key, LockError, LockedCircuit};
+use crate::scheme::{placement_rng, require_key_width, LockScheme};
 
-/// Locks `netlist` by inserting `key_bits` XOR/XNOR key gates after random
-/// internal gates.
-///
-/// # Errors
-///
-/// - [`LockError::AlreadyLocked`] if the netlist already has key inputs.
-/// - [`LockError::KeyTooWide`] if there are fewer internal gates than
-///   requested key bits.
+/// Random logic locking: `key_bits` XOR/XNOR key gates spliced after
+/// random internal wires (chosen by `seed`).
 ///
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use polykey_locking::{Key, LockScheme, Rll};
 /// use polykey_netlist::{GateKind, Netlist};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut nl = Netlist::new("t");
 /// let a = nl.add_input("a")?;
 /// let b = nl.add_input("b")?;
 /// let g = nl.add_gate("g", GateKind::And, &[a, b])?;
 /// nl.mark_output(g)?;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-/// let locked = polykey_locking::lock_rll(&nl, 1, &mut rng)?;
+/// let scheme = Rll::new(1).with_seed(7);
+/// let locked = scheme.lock(&nl, &Key::from_u64(1, 1))?;
 /// assert_eq!(locked.netlist.key_inputs().len(), 1);
 /// # Ok(())
 /// # }
 /// ```
-pub fn lock_rll<R: Rng>(
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[must_use]
+pub struct Rll {
+    /// Number of key gates to insert.
+    pub key_bits: usize,
+    /// Seed driving the wire selection (same seed ⇒ same placement).
+    pub seed: u64,
+}
+
+impl Rll {
+    /// An RLL scheme inserting `key_bits` key gates (placement seed 0).
+    pub fn new(key_bits: usize) -> Rll {
+        Rll { key_bits, seed: 0 }
+    }
+
+    /// Replaces the placement seed.
+    pub fn with_seed(mut self, seed: u64) -> Rll {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for Rll {
+    /// Eight key gates, placement seed 0.
+    fn default() -> Rll {
+        Rll::new(8)
+    }
+}
+
+impl LockScheme for Rll {
+    fn name(&self) -> &str {
+        "rll"
+    }
+
+    fn key_len(&self, _netlist: &Netlist) -> usize {
+        self.key_bits
+    }
+
+    fn lock(&self, netlist: &Netlist, key: &Key) -> Result<LockedCircuit, LockError> {
+        require_key_width(self.key_bits, key)?;
+        lock_rll_with(netlist, key, &mut placement_rng(self.seed))
+    }
+}
+
+/// Inserts one XOR/XNOR key gate per key bit: placement from `rng`,
+/// polarity from the key (bit 1 ⇒ XNOR, so the given key is transparent).
+fn lock_rll_with(
     netlist: &Netlist,
-    key_bits: usize,
-    rng: &mut R,
+    key: &Key,
+    rng: &mut dyn Rng,
 ) -> Result<LockedCircuit, LockError> {
     require_unlocked(netlist)?;
+    let key_bits = key.len();
     // Candidate wires: outputs of real gates (not inputs, not constants).
     let candidates: Vec<NodeId> = netlist
         .node_ids()
@@ -53,10 +99,7 @@ pub fn lock_rll<R: Rng>(
         })
         .collect();
     if candidates.len() < key_bits {
-        return Err(LockError::KeyTooWide {
-            requested: key_bits,
-            available: candidates.len(),
-        });
+        return Err(LockError::KeyTooWide { requested: key_bits, available: candidates.len() });
     }
 
     // Sample distinct targets (partial Fisher–Yates).
@@ -69,25 +112,44 @@ pub fn lock_rll<R: Rng>(
 
     let mut locked = netlist.clone();
     locked.set_name(format!("{}_rll{}", netlist.name(), key_bits));
-    let mut key_values = Vec::with_capacity(key_bits);
     for (i, &target) in targets.iter().enumerate() {
-        let use_xnor = rng.random_bool(0.5);
+        // Xor(x, 0) = x and Xnor(x, 1) = x: the key bit picks the
+        // transparent polarity.
+        let use_xnor = key.bit(i);
         let kname = key_name(&locked, i);
         let k = locked.add_key_input(kname)?;
         let gate_kind = if use_xnor { GateKind::Xnor } else { GateKind::Xor };
         let gname = format!("rll_{}_{}", if use_xnor { "xnor" } else { "xor" }, i);
         locked.insert_after(target, gname, gate_kind, &[k])?;
-        // Xor(x, 0) = x and Xnor(x, 1) = x: transparent key values.
-        key_values.push(use_xnor);
     }
-    Ok(LockedCircuit { netlist: locked, key: Key::new(key_values) })
+    Ok(LockedCircuit { netlist: locked, key: key.clone() })
+}
+
+/// Locks `netlist` by inserting `key_bits` XOR/XNOR key gates after random
+/// internal gates, with a random correct key.
+///
+/// # Errors
+///
+/// - [`LockError::AlreadyLocked`] if the netlist already has key inputs.
+/// - [`LockError::KeyTooWide`] if there are fewer internal gates than
+///   requested key bits.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Rll::new(key_bits).with_seed(..)` with `LockScheme::lock` or `lock_random`"
+)]
+pub fn lock_rll<R: Rng>(
+    netlist: &Netlist,
+    key_bits: usize,
+    rng: &mut R,
+) -> Result<LockedCircuit, LockError> {
+    let key = Key::random(key_bits, rng);
+    lock_rll_with(netlist, &key, rng)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use polykey_netlist::{bits_of, Simulator};
-    use rand::SeedableRng;
 
     fn sample() -> Netlist {
         let mut nl = Netlist::new("s");
@@ -105,8 +167,7 @@ mod tests {
     #[test]
     fn correct_key_restores_function() {
         let nl = sample();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-        let locked = lock_rll(&nl, 3, &mut rng).unwrap();
+        let locked = Rll::new(3).with_seed(11).lock(&nl, &Key::from_u64(0b101, 3)).unwrap();
         assert_eq!(locked.netlist.key_inputs().len(), 3);
         assert_eq!(locked.netlist.inputs().len(), 3);
 
@@ -123,10 +184,30 @@ mod tests {
     }
 
     #[test]
+    fn every_key_value_is_lockable() {
+        // The polarity trick must make *any* requested key correct.
+        let nl = sample();
+        let scheme = Rll::new(3).with_seed(4);
+        let mut orig = Simulator::new(&nl).unwrap();
+        for k in 0..8u64 {
+            let key = Key::from_u64(k, 3);
+            let locked = scheme.lock(&nl, &key).unwrap();
+            let mut lsim = Simulator::new(&locked.netlist).unwrap();
+            for v in 0..8u64 {
+                let bits = bits_of(v, 3);
+                assert_eq!(
+                    lsim.eval(&bits, key.bits()),
+                    orig.eval(&bits, &[]),
+                    "key {k:03b}, pattern {v:03b}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn some_wrong_key_corrupts() {
         let nl = sample();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-        let locked = lock_rll(&nl, 3, &mut rng).unwrap();
+        let locked = Rll::new(3).with_seed(11).lock(&nl, &Key::from_u64(0b010, 3)).unwrap();
         // Flipping one key bit of an XOR/XNOR chain must change the function
         // somewhere (the key gate sits on a live wire).
         let mut wrong = locked.key.bits().to_vec();
@@ -143,9 +224,8 @@ mod tests {
     #[test]
     fn too_many_key_bits_rejected() {
         let nl = sample();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         assert!(matches!(
-            lock_rll(&nl, 100, &mut rng),
+            Rll::new(100).lock(&nl, &Key::new(vec![false; 100])),
             Err(LockError::KeyTooWide { available: 4, .. })
         ));
     }
@@ -153,31 +233,42 @@ mod tests {
     #[test]
     fn relocking_rejected() {
         let nl = sample();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-        let once = lock_rll(&nl, 2, &mut rng).unwrap();
+        let once = Rll::new(2).lock(&nl, &Key::from_u64(1, 2)).unwrap();
         assert!(matches!(
-            lock_rll(&once.netlist, 1, &mut rng),
+            Rll::new(1).lock(&once.netlist, &Key::from_u64(0, 1)),
             Err(LockError::AlreadyLocked { .. })
         ));
     }
 
     #[test]
-    fn deterministic_for_seed() {
-        let nl = sample();
-        let mut r1 = rand::rngs::StdRng::seed_from_u64(5);
-        let mut r2 = rand::rngs::StdRng::seed_from_u64(5);
-        let l1 = lock_rll(&nl, 2, &mut r1).unwrap();
-        let l2 = lock_rll(&nl, 2, &mut r2).unwrap();
-        assert_eq!(l1.key, l2.key);
-        assert_eq!(l1.netlist.num_nodes(), l2.netlist.num_nodes());
-    }
-
-    #[test]
     fn locked_netlist_validates() {
         let nl = sample();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let locked = lock_rll(&nl, 4, &mut rng).unwrap();
+        let locked = Rll::new(4).with_seed(3).lock(&nl, &Key::from_u64(6, 4)).unwrap();
         locked.netlist.validate().unwrap();
         assert_eq!(locked.netlist.num_gates(), nl.num_gates() + 4);
+    }
+
+    #[allow(deprecated)]
+    mod shims {
+        use super::*;
+        use rand::SeedableRng;
+
+        #[test]
+        fn lock_rll_is_deterministic_per_seed_and_unlocks() {
+            let nl = sample();
+            let mut r1 = rand::rngs::StdRng::seed_from_u64(5);
+            let mut r2 = rand::rngs::StdRng::seed_from_u64(5);
+            let l1 = lock_rll(&nl, 2, &mut r1).unwrap();
+            let l2 = lock_rll(&nl, 2, &mut r2).unwrap();
+            assert_eq!(l1.key, l2.key);
+            assert_eq!(l1.netlist.num_nodes(), l2.netlist.num_nodes());
+
+            let mut orig = Simulator::new(&nl).unwrap();
+            let mut lsim = Simulator::new(&l1.netlist).unwrap();
+            for v in 0..8u64 {
+                let bits = bits_of(v, 3);
+                assert_eq!(lsim.eval(&bits, l1.key.bits()), orig.eval(&bits, &[]));
+            }
+        }
     }
 }

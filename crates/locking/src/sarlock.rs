@@ -13,9 +13,114 @@ use rand::Rng;
 use polykey_netlist::{GateKind, Netlist, NodeId};
 
 use crate::common::{key_name, require_unlocked, Key, LockError, LockedCircuit};
+use crate::scheme::{require_key_width, LockScheme};
 
-/// Configuration for [`lock_sarlock`].
+/// SARLock point-function locking as a [`LockScheme`].
+///
+/// The comparator reads `key_bits` primary inputs (the first ones unless
+/// [`Sarlock::compare_inputs`] overrides the choice) and corrupts one
+/// output for every wrong key at exactly one input pattern.
+///
+/// # Examples
+///
+/// ```
+/// use polykey_locking::{Key, LockScheme, Sarlock};
+/// use polykey_netlist::{GateKind, Netlist};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a")?;
+/// let b = nl.add_input("b")?;
+/// let y = nl.add_gate("y", GateKind::And, &[a, b])?;
+/// nl.mark_output(y)?;
+///
+/// let locked = Sarlock::new(2).lock(&nl, &Key::from_u64(0b10, 2))?;
+/// assert_eq!(locked.netlist.key_inputs().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[must_use]
+pub struct Sarlock {
+    /// Key width; must not exceed the number of primary inputs.
+    pub key_bits: usize,
+    /// Indices (into the input list) of the inputs wired to the comparator.
+    /// Defaults to the first `key_bits` inputs.
+    pub compare_inputs: Option<Vec<usize>>,
+    /// Index (into the output list) of the output to corrupt. Defaults to
+    /// the last output outside the comparator's fanin.
+    pub target_output: Option<usize>,
+}
+
+impl Sarlock {
+    /// A SARLock scheme with the given key width and default port choices.
+    pub fn new(key_bits: usize) -> Sarlock {
+        Sarlock { key_bits, compare_inputs: None, target_output: None }
+    }
+
+    /// Overrides the comparator inputs (indices into the input list).
+    pub fn with_compare_inputs(mut self, compare_inputs: Vec<usize>) -> Sarlock {
+        self.compare_inputs = Some(compare_inputs);
+        self
+    }
+}
+
+impl Default for Sarlock {
+    /// A 4-bit key on the first four inputs.
+    fn default() -> Sarlock {
+        Sarlock::new(4)
+    }
+}
+
+impl From<&SarlockConfig> for Sarlock {
+    fn from(config: &SarlockConfig) -> Sarlock {
+        Sarlock {
+            key_bits: config.key_bits,
+            compare_inputs: config.compare_inputs.clone(),
+            target_output: config.target_output,
+        }
+    }
+}
+
+impl LockScheme for Sarlock {
+    fn name(&self) -> &str {
+        "sarlock"
+    }
+
+    fn key_len(&self, _netlist: &Netlist) -> usize {
+        self.key_bits
+    }
+
+    fn lock(&self, netlist: &Netlist, key: &Key) -> Result<LockedCircuit, LockError> {
+        require_key_width(self.key_bits, key)?;
+        let kw = self.key_bits;
+        if kw > netlist.inputs().len() {
+            return Err(LockError::KeyTooWide {
+                requested: kw,
+                available: netlist.inputs().len(),
+            });
+        }
+        let compare: Vec<usize> = match &self.compare_inputs {
+            Some(list) => {
+                if list.len() != kw || list.iter().any(|&i| i >= netlist.inputs().len()) {
+                    return Err(LockError::KeyTooWide {
+                        requested: list.len(),
+                        available: netlist.inputs().len(),
+                    });
+                }
+                list.clone()
+            }
+            None => (0..kw).collect(),
+        };
+        let signals: Vec<NodeId> = compare.iter().map(|&i| netlist.inputs()[i]).collect();
+        lock_sarlock_on_signals(netlist, &signals, key, self.target_output)
+    }
+}
+
+/// Configuration for the deprecated [`lock_sarlock`] shims; new code uses
+/// the [`Sarlock`] scheme value directly.
 #[derive(Clone, Debug)]
+#[must_use]
 pub struct SarlockConfig {
     /// Key width; must not exceed the number of primary inputs.
     pub key_bits: usize,
@@ -41,13 +146,17 @@ impl SarlockConfig {
 /// - [`LockError::AlreadyLocked`] if the netlist already has key inputs.
 /// - [`LockError::KeyTooWide`] if `key_bits` exceeds the input count.
 /// - [`LockError::TooSmall`] if the netlist has no outputs.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Sarlock::new(key_bits)` with `LockScheme::lock_random`"
+)]
 pub fn lock_sarlock<R: Rng>(
     netlist: &Netlist,
     config: &SarlockConfig,
     rng: &mut R,
 ) -> Result<LockedCircuit, LockError> {
     let key = Key::random(config.key_bits, rng);
-    lock_sarlock_with_key(netlist, config, &key)
+    Sarlock::from(config).lock(netlist, &key)
 }
 
 /// Locks `netlist` with SARLock using an explicit correct key.
@@ -56,29 +165,17 @@ pub fn lock_sarlock<R: Rng>(
 ///
 /// As for [`lock_sarlock`], plus [`LockError::KeyTooWide`] if the key width
 /// disagrees with `config.key_bits`.
+#[deprecated(since = "0.2.0", note = "use `Sarlock::new(key_bits)` with `LockScheme::lock`")]
 pub fn lock_sarlock_with_key(
     netlist: &Netlist,
     config: &SarlockConfig,
     key: &Key,
 ) -> Result<LockedCircuit, LockError> {
-    let kw = config.key_bits;
-    if kw > netlist.inputs().len() {
-        return Err(LockError::KeyTooWide { requested: kw, available: netlist.inputs().len() });
+    if key.len() != config.key_bits {
+        // Preserve the historical error shape of the shim.
+        return Err(LockError::KeyTooWide { requested: key.len(), available: config.key_bits });
     }
-    let compare: Vec<usize> = match &config.compare_inputs {
-        Some(list) => {
-            if list.len() != kw || list.iter().any(|&i| i >= netlist.inputs().len()) {
-                return Err(LockError::KeyTooWide {
-                    requested: list.len(),
-                    available: netlist.inputs().len(),
-                });
-            }
-            list.clone()
-        }
-        None => (0..kw).collect(),
-    };
-    let signals: Vec<NodeId> = compare.iter().map(|&i| netlist.inputs()[i]).collect();
-    lock_sarlock_on_signals(netlist, &signals, key, config.target_output)
+    Sarlock::from(config).lock(netlist, key)
 }
 
 /// Locks `netlist` with a SARLock-style point function whose comparator
@@ -132,8 +229,7 @@ pub fn lock_sarlock_on_signals(
         None => {
             // Pick the last output whose fanout cone contains no signal.
             let safe = netlist.outputs().iter().enumerate().rev().find(|(_, &o)| {
-                let cone =
-                    polykey_netlist::analysis::transitive_fanout(netlist, &[o]);
+                let cone = polykey_netlist::analysis::transitive_fanout(netlist, &[o]);
                 signals.iter().all(|s| !cone[s.index()])
             });
             match safe {
@@ -232,9 +328,7 @@ mod tests {
             .map(|i| {
                 let ibits = bits_of(i, ni);
                 let want = orig.eval(&ibits, &[]);
-                (0..1u64 << kw)
-                    .map(|k| lsim.eval(&ibits, &bits_of(k, kw)) != want)
-                    .collect()
+                (0..1u64 << kw).map(|k| lsim.eval(&ibits, &bits_of(k, kw)) != want).collect()
             })
             .collect()
     }
@@ -244,16 +338,13 @@ mod tests {
         // |I| = |K| = 3, correct key 101 (bit0-first: true, false, true).
         let nl = majority3();
         let key = Key::new(vec![true, false, true]);
-        let locked = lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &key).unwrap();
+        let locked = Sarlock::new(3).lock(&nl, &key).unwrap();
         let table = error_table(&nl, &locked);
         let k_star = key.to_u64().unwrap();
         for (i, row) in table.iter().enumerate() {
             for (k, &errs) in row.iter().enumerate() {
                 let expected = i as u64 == k as u64 && k as u64 != k_star;
-                assert_eq!(
-                    errs, expected,
-                    "error profile at input {i:03b}, key {k:03b}"
-                );
+                assert_eq!(errs, expected, "error profile at input {i:03b}, key {k:03b}");
             }
         }
     }
@@ -262,7 +353,7 @@ mod tests {
     fn correct_key_unlocks() {
         let nl = majority3();
         let mut rng = rand::rngs::StdRng::seed_from_u64(21);
-        let locked = lock_sarlock(&nl, &SarlockConfig::new(3), &mut rng).unwrap();
+        let locked = Sarlock::new(3).lock_random(&nl, &mut rng).unwrap();
         let mut orig = Simulator::new(&nl).unwrap();
         let mut lsim = Simulator::new(&locked.netlist).unwrap();
         for v in 0..8u64 {
@@ -275,7 +366,7 @@ mod tests {
     fn every_wrong_key_errs_exactly_once() {
         let nl = majority3();
         let key = Key::new(vec![false, true, false]);
-        let locked = lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &key).unwrap();
+        let locked = Sarlock::new(3).lock(&nl, &key).unwrap();
         let table = error_table(&nl, &locked);
         let k_star = key.to_u64().unwrap() as usize;
         for k in 0..8usize {
@@ -291,9 +382,8 @@ mod tests {
     #[test]
     fn key_wider_than_inputs_rejected() {
         let nl = majority3();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         assert!(matches!(
-            lock_sarlock(&nl, &SarlockConfig::new(5), &mut rng),
+            Sarlock::new(5).lock(&nl, &Key::from_u64(0, 5)),
             Err(LockError::KeyTooWide { requested: 5, available: 3 })
         ));
     }
@@ -302,9 +392,8 @@ mod tests {
     fn custom_compare_inputs() {
         let nl = majority3();
         let key = Key::from_u64(0b10, 2);
-        let mut config = SarlockConfig::new(2);
-        config.compare_inputs = Some(vec![2, 0]); // compare on (c, a)
-        let locked = lock_sarlock_with_key(&nl, &config, &key).unwrap();
+        // Compare on (c, a).
+        let locked = Sarlock::new(2).with_compare_inputs(vec![2, 0]).lock(&nl, &key).unwrap();
         locked.netlist.validate().unwrap();
         // Correct key still unlocks.
         let mut orig = Simulator::new(&nl).unwrap();
@@ -319,21 +408,38 @@ mod tests {
     fn zero_width_key_rejected() {
         let nl = majority3();
         let key = Key::default();
-        assert!(matches!(
-            lock_sarlock_with_key(&nl, &SarlockConfig::new(0), &key),
-            Err(LockError::TooSmall { .. })
-        ));
+        assert!(matches!(Sarlock::new(0).lock(&nl, &key), Err(LockError::TooSmall { .. })));
     }
 
     #[test]
     fn structure_is_valid_and_sized() {
         let nl = majority3();
         let key = Key::from_u64(0b011, 3);
-        let locked = lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &key).unwrap();
+        let locked = Sarlock::new(3).lock(&nl, &key).unwrap();
         locked.netlist.validate().unwrap();
         // 3 Xnor + 3 diff + match + wrong + flip + output Xor = 10 extra.
         assert_eq!(locked.netlist.num_gates(), nl.num_gates() + 10);
         assert_eq!(locked.netlist.outputs().len(), nl.outputs().len());
+    }
+
+    #[allow(deprecated)]
+    mod shims {
+        use super::*;
+
+        #[test]
+        fn with_key_shim_matches_scheme_and_checks_width() {
+            let nl = majority3();
+            let key = Key::from_u64(0b110, 3);
+            let via_shim = lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &key).unwrap();
+            let via_scheme = Sarlock::new(3).lock(&nl, &key).unwrap();
+            assert_eq!(via_shim.key, via_scheme.key);
+            assert_eq!(via_shim.netlist.num_nodes(), via_scheme.netlist.num_nodes());
+            // Historical error shape on width mismatch.
+            assert!(matches!(
+                lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &Key::from_u64(0, 2)),
+                Err(LockError::KeyTooWide { requested: 2, available: 3 })
+            ));
+        }
     }
 }
 

@@ -1,0 +1,201 @@
+//! The [`LockScheme`] trait: every locking technique as an interchangeable
+//! part.
+//!
+//! The paper's core claim — that a locked circuit falls to *any* set of
+//! sub-space keys, not just *the* one key — only pays off when attacks and
+//! schemes compose freely: Algorithm 1 runs unmodified against RLL,
+//! SARLock, Anti-SAT, LUT insertion, or any future scheme. A scheme value
+//! bundles its configuration (and, for schemes with structural randomness,
+//! a placement seed), so a heterogeneous sweep is just a loop:
+//!
+//! ```
+//! use polykey_locking::{AntiSat, LockScheme, LutLock, Rll, Sarlock};
+//! use polykey_netlist::{GateKind, Netlist};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut nl = Netlist::new("toy");
+//! let a = nl.add_input("a")?;
+//! let b = nl.add_input("b")?;
+//! let c = nl.add_input("c")?;
+//! let g = nl.add_gate("g", GateKind::And, &[a, b])?;
+//! let y = nl.add_gate("y", GateKind::Xor, &[g, c])?;
+//! nl.mark_output(y)?;
+//!
+//! let schemes: Vec<Box<dyn LockScheme>> = vec![
+//!     Box::new(Rll::new(2).with_seed(7)),
+//!     Box::new(Sarlock::new(2)),
+//!     Box::new(AntiSat::new(2)),
+//!     Box::new(LutLock::new(vec![2], 0).with_seed(7)),
+//! ];
+//! for scheme in &schemes {
+//!     let width = scheme.key_len(&nl);
+//!     let locked = scheme.lock(&nl, &polykey_locking::Key::from_u64(1, width))?;
+//!     assert_eq!(locked.netlist.key_inputs().len(), width);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use polykey_netlist::Netlist;
+
+use crate::common::{Key, LockError, LockedCircuit};
+
+/// A logic-locking scheme, usable as a trait object in heterogeneous
+/// sweeps (`Vec<Box<dyn LockScheme>>`).
+///
+/// Implementations bundle all scheme configuration. Structural choices
+/// (which wires to cut, which nets to tap) are derived from a seed stored
+/// on the scheme value, so [`LockScheme::lock`] is deterministic: the same
+/// scheme value, netlist, and key always produce the same locked circuit.
+pub trait LockScheme: Send + Sync {
+    /// A short stable identifier (`"rll"`, `"sarlock"`, …) for reports and
+    /// harness tables.
+    fn name(&self) -> &str;
+
+    /// The key width this scheme produces on `netlist`.
+    fn key_len(&self, netlist: &Netlist) -> usize;
+
+    /// Locks `netlist` so that `key` is a correct key.
+    ///
+    /// Schemes with non-unique correct keys (Anti-SAT, SARLock) make the
+    /// *given* key correct; other keys may also be correct by design.
+    ///
+    /// # Errors
+    ///
+    /// - [`LockError::KeyWidthMismatch`] if `key.len()` differs from
+    ///   [`LockScheme::key_len`].
+    /// - Scheme-specific structural errors ([`LockError::AlreadyLocked`],
+    ///   [`LockError::KeyTooWide`], [`LockError::TooSmall`]).
+    fn lock(&self, netlist: &Netlist, key: &Key) -> Result<LockedCircuit, LockError>;
+
+    /// Locks `netlist` with a key sampled uniformly from `rng`.
+    ///
+    /// Provided: samples [`Key::random`] of [`LockScheme::key_len`] bits
+    /// and delegates to [`LockScheme::lock`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`LockScheme::lock`].
+    fn lock_random(
+        &self,
+        netlist: &Netlist,
+        rng: &mut dyn Rng,
+    ) -> Result<LockedCircuit, LockError> {
+        let key = Key::random(self.key_len(netlist), rng);
+        self.lock(netlist, &key)
+    }
+}
+
+/// Derives the placement RNG a scheme uses for its structural choices.
+pub(crate) fn placement_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Rejects keys whose width disagrees with the scheme's key length.
+pub(crate) fn require_key_width(expected: usize, key: &Key) -> Result<(), LockError> {
+    if key.len() == expected {
+        Ok(())
+    } else {
+        Err(LockError::KeyWidthMismatch { expected, got: key.len() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AntiSat, LutLock, Rll, Sarlock};
+    use polykey_netlist::{bits_of, GateKind, Simulator};
+
+    fn sample() -> Netlist {
+        let mut nl = Netlist::new("s");
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let c = nl.add_input("c").unwrap();
+        let g1 = nl.add_gate("g1", GateKind::And, &[a, b]).unwrap();
+        let g2 = nl.add_gate("g2", GateKind::Or, &[g1, c]).unwrap();
+        let g3 = nl.add_gate("g3", GateKind::Xor, &[g1, g2]).unwrap();
+        let g4 = nl.add_gate("g4", GateKind::Nand, &[g2, g3]).unwrap();
+        nl.mark_output(g4).unwrap();
+        nl
+    }
+
+    fn all_schemes() -> Vec<Box<dyn LockScheme>> {
+        vec![
+            Box::new(Rll::new(3).with_seed(11)),
+            Box::new(Sarlock::new(3)),
+            Box::new(AntiSat::new(2)),
+            Box::new(LutLock::new(vec![2], 0).with_seed(5)),
+        ]
+    }
+
+    #[test]
+    fn every_scheme_locks_and_unlocks_with_its_key() {
+        let nl = sample();
+        for scheme in all_schemes() {
+            let width = scheme.key_len(&nl);
+            assert!(width > 0, "{}", scheme.name());
+            let key = Key::from_u64(0b1011_0110 & ((1 << width) - 1), width);
+            let locked = scheme.lock(&nl, &key).unwrap();
+            assert_eq!(locked.key, key, "{}", scheme.name());
+            assert_eq!(locked.netlist.key_inputs().len(), width, "{}", scheme.name());
+            locked.netlist.validate().unwrap();
+
+            let mut orig = Simulator::new(&nl).unwrap();
+            let mut lsim = Simulator::new(&locked.netlist).unwrap();
+            for v in 0..8u64 {
+                let bits = bits_of(v, 3);
+                assert_eq!(
+                    lsim.eval(&bits, locked.key.bits()),
+                    orig.eval(&bits, &[]),
+                    "{} must be invisible under its key at input {v:03b}",
+                    scheme.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lock_is_deterministic() {
+        let nl = sample();
+        for scheme in all_schemes() {
+            let key =
+                Key::from_u64(0b101 & ((1 << scheme.key_len(&nl)) - 1), scheme.key_len(&nl));
+            let a = scheme.lock(&nl, &key).unwrap();
+            let b = scheme.lock(&nl, &key).unwrap();
+            assert_eq!(a.key, b.key, "{}", scheme.name());
+            assert_eq!(a.netlist.num_nodes(), b.netlist.num_nodes(), "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn lock_random_samples_the_advertised_width() {
+        let nl = sample();
+        let mut rng = placement_rng(99);
+        for scheme in all_schemes() {
+            let locked = scheme.lock_random(&nl, &mut rng).unwrap();
+            assert_eq!(locked.key.len(), scheme.key_len(&nl), "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn wrong_key_width_rejected_uniformly() {
+        let nl = sample();
+        for scheme in all_schemes() {
+            let bad = Key::from_u64(0, scheme.key_len(&nl) + 1);
+            assert!(
+                matches!(scheme.lock(&nl, &bad), Err(LockError::KeyWidthMismatch { .. })),
+                "{}",
+                scheme.name()
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let names: Vec<String> = all_schemes().iter().map(|s| s.name().to_string()).collect();
+        assert_eq!(names, ["rll", "sarlock", "antisat", "lut"]);
+    }
+}

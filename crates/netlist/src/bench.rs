@@ -143,9 +143,9 @@ pub fn parse_bench<R: BufRead>(reader: R, name: &str) -> Result<Netlist, ParseBe
             if lhs.is_empty() {
                 return Err(syntax("missing signal name before `=`".into()));
             }
-            let open = rhs
-                .find('(')
-                .ok_or_else(|| syntax(format!("expected `KIND(args)` after `=`, got `{rhs}`")))?;
+            let open = rhs.find('(').ok_or_else(|| {
+                syntax(format!("expected `KIND(args)` after `=`, got `{rhs}`"))
+            })?;
             if !rhs.ends_with(')') {
                 return Err(syntax("missing closing `)`".into()));
             }
@@ -211,9 +211,9 @@ pub fn parse_bench<R: BufRead>(reader: R, name: &str) -> Result<Netlist, ParseBe
     // Outputs last: they may reference any named signal.
     for (_line, decl) in &decls {
         if let Decl::Output(signal) = decl {
-            let id = nl
-                .find(signal)
-                .ok_or_else(|| ParseBenchError::Netlist(NetlistError::UnknownSignal(signal.clone())))?;
+            let id = nl.find(signal).ok_or_else(|| {
+                ParseBenchError::Netlist(NetlistError::UnknownSignal(signal.clone()))
+            })?;
             nl.mark_output(id)?;
         }
     }

@@ -89,10 +89,9 @@ impl fmt::Display for NetlistError {
         match self {
             NetlistError::DuplicateName(n) => write!(f, "duplicate signal name `{n}`"),
             NetlistError::UnknownSignal(n) => write!(f, "unknown signal `{n}`"),
-            NetlistError::BadArity { gate, kind, expected, got } => write!(
-                f,
-                "gate `{gate}` of type {kind} expects {expected} fanin(s), got {got}"
-            ),
+            NetlistError::BadArity { gate, kind, expected, got } => {
+                write!(f, "gate `{gate}` of type {kind} expects {expected} fanin(s), got {got}")
+            }
             NetlistError::InvalidNode(i) => write!(f, "node id {i} is out of range"),
             NetlistError::Cycle { involving } => {
                 write!(f, "combinational cycle involving `{involving}`")
@@ -539,7 +538,6 @@ impl Netlist {
     pub(crate) fn set_node(&mut self, id: NodeId, kind: GateKind, fanins: Vec<NodeId>) {
         self.nodes[id.index()] = Node { kind, fanins };
     }
-
 }
 
 impl fmt::Display for Netlist {

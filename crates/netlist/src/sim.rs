@@ -66,7 +66,8 @@ impl<'a> Simulator<'a> {
     pub fn eval(&mut self, inputs: &[bool], keys: &[bool]) -> Vec<bool> {
         let inputs_packed: Vec<u64> =
             inputs.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
-        let keys_packed: Vec<u64> = keys.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+        let keys_packed: Vec<u64> =
+            keys.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
         self.eval_packed(&inputs_packed, &keys_packed).iter().map(|&w| w & 1 == 1).collect()
     }
 

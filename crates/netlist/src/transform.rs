@@ -406,7 +406,7 @@ impl Rebuilder {
         }
         nodes.sort_unstable();
         nodes.dedup(); // x ∧ x = x, x ∨ x = x
-        // Complementary pair: x ∧ ¬x = 0, x ∨ ¬x = 1.
+                       // Complementary pair: x ∧ ¬x = 0, x ∨ ¬x = 1.
         for i in 0..nodes.len() {
             for j in (i + 1)..nodes.len() {
                 if self.complementary(nodes[i], nodes[j]) {
@@ -497,7 +497,7 @@ impl Rebuilder {
     fn build_mux(&mut self, fanins: &[Driver], name: &str) -> Result<Driver, NetlistError> {
         let (s, d0, d1) = (fanins[0], fanins[1], fanins[2]);
         match s {
-            Driver::Const(b) => return Ok(if b { d1 } else { d0 }),
+            Driver::Const(b) => Ok(if b { d1 } else { d0 }),
             Driver::Node(sn) => {
                 if d0 == d1 {
                     return Ok(d0);
@@ -510,33 +510,33 @@ impl Rebuilder {
                             return Ok(s);
                         }
                         // Mux(s, 1, 0) = ¬s
-                        return self.make_not(s, name);
+                        self.make_not(s, name)
                     }
                     (Driver::Const(false), Driver::Node(y)) => {
                         // Mux(s, 0, y) = s ∧ y
-                        return self.build_and_or(
+                        self.build_and_or(
                             GateKind::And,
                             &[Driver::Node(sn), Driver::Node(y)],
                             name,
-                        );
+                        )
                     }
                     (Driver::Const(true), Driver::Node(y)) => {
                         // Mux(s, 1, y) = ¬s ∨ y
                         let ns = self.make_not(s, name)?;
-                        return self.build_and_or(GateKind::Or, &[ns, Driver::Node(y)], name);
+                        self.build_and_or(GateKind::Or, &[ns, Driver::Node(y)], name)
                     }
                     (Driver::Node(x), Driver::Const(true)) => {
                         // Mux(s, x, 1) = s ∨ x
-                        return self.build_and_or(
+                        self.build_and_or(
                             GateKind::Or,
                             &[Driver::Node(sn), Driver::Node(x)],
                             name,
-                        );
+                        )
                     }
                     (Driver::Node(x), Driver::Const(false)) => {
                         // Mux(s, x, 0) = ¬s ∧ x
                         let ns = self.make_not(s, name)?;
-                        return self.build_and_or(GateKind::And, &[ns, Driver::Node(x)], name);
+                        self.build_and_or(GateKind::And, &[ns, Driver::Node(x)], name)
                     }
                     (Driver::Node(x), Driver::Node(y)) => {
                         if self.complementary(x, y) {
@@ -564,7 +564,7 @@ impl Rebuilder {
                             );
                         }
                         let fanins = vec![sn, x, y];
-                        return self.emit(GateKind::Mux, fanins, name);
+                        self.emit(GateKind::Mux, fanins, name)
                     }
                 }
             }
@@ -657,10 +657,7 @@ mod tests {
     fn cofactor_rejects_non_inputs() {
         let nl = example();
         let g1 = nl.find("g1").unwrap();
-        assert!(matches!(
-            cofactor(&nl, &[(g1, false)]),
-            Err(NetlistError::NotAnInput { .. })
-        ));
+        assert!(matches!(cofactor(&nl, &[(g1, false)]), Err(NetlistError::NotAnInput { .. })));
     }
 
     #[test]

@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 
 use polykey_netlist::{
-    bits_of, cofactor, cofactor_simplify, parse_bench, simplify, write_bench, GateKind, Netlist,
-    NodeId, Simulator,
+    bits_of, cofactor, cofactor_simplify, parse_bench, simplify, write_bench, GateKind,
+    Netlist, NodeId, Simulator,
 };
 
 /// A recipe for one random gate.

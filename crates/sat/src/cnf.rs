@@ -195,8 +195,9 @@ mod tests {
 
     #[test]
     fn to_solver_round_trip() {
-        let f: CnfFormula =
-            vec![vec![lit(1), lit(2)], vec![lit(-1)], vec![lit(-2), lit(3)]].into_iter().collect();
+        let f: CnfFormula = vec![vec![lit(1), lit(2)], vec![lit(-1)], vec![lit(-2), lit(3)]]
+            .into_iter()
+            .collect();
         let mut s = f.to_solver();
         assert_eq!(s.solve(&[]), SolveResult::Sat);
         assert_eq!(s.model_value(lit(1)), Some(false));

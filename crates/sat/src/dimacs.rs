@@ -98,22 +98,17 @@ pub fn parse_dimacs<R: BufRead>(reader: R) -> Result<CnfFormula, ParseDimacsErro
                     message: "expected `p cnf <vars> <clauses>`".into(),
                 });
             }
-            let vars: usize = parts
-                .next()
-                .and_then(|t| t.parse().ok())
-                .ok_or_else(|| ParseDimacsError::Syntax {
-                    line: line_no,
-                    message: "bad variable count".into(),
-                })?;
+            let vars: usize = parts.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
+                ParseDimacsError::Syntax { line: line_no, message: "bad variable count".into() }
+            })?;
             formula.set_num_vars(vars);
             continue;
         }
         for token in trimmed.split_whitespace() {
-            let value: i64 =
-                token.parse().map_err(|_| ParseDimacsError::Syntax {
-                    line: line_no,
-                    message: format!("bad literal token `{token}`"),
-                })?;
+            let value: i64 = token.parse().map_err(|_| ParseDimacsError::Syntax {
+                line: line_no,
+                message: format!("bad literal token `{token}`"),
+            })?;
             if value == 0 {
                 formula.add_clause(&current);
                 current.clear();

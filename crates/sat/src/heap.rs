@@ -101,13 +101,12 @@ impl VarOrderHeap {
                 break;
             }
             let right = left + 1;
-            let child = if right < n
-                && act[self.heap[right].index()] > act[self.heap[left].index()]
-            {
-                right
-            } else {
-                left
-            };
+            let child =
+                if right < n && act[self.heap[right].index()] > act[self.heap[left].index()] {
+                    right
+                } else {
+                    left
+                };
             let cv = self.heap[child];
             if a >= act[cv.index()] {
                 break;
@@ -145,7 +144,8 @@ mod tests {
             h.insert(Var::new(i), &act);
         }
         h.check_invariants(&act);
-        let order: Vec<usize> = std::iter::from_fn(|| h.pop_max(&act)).map(|v| v.index()).collect();
+        let order: Vec<usize> =
+            std::iter::from_fn(|| h.pop_max(&act)).map(|v| v.index()).collect();
         assert_eq!(order, vec![1, 4, 2, 0, 3]);
     }
 

@@ -44,7 +44,7 @@ mod preprocess;
 mod solver;
 
 pub use cnf::{ClauseSink, CnfFormula};
-pub use preprocess::{preprocess, PreprocessConfig, PreprocessResult};
 pub use dimacs::{parse_dimacs, write_dimacs, ParseDimacsError};
 pub use lit::{LBool, Lit, Var};
+pub use preprocess::{preprocess, PreprocessConfig, PreprocessResult};
 pub use solver::{SolveResult, Solver, SolverConfig, SolverStats};

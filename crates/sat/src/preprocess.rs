@@ -77,9 +77,8 @@ impl PreprocessResult {
             // guarantees one polarity works).
             let mut value = false;
             for clause in clauses {
-                let satisfied_without_v = clause
-                    .iter()
-                    .any(|l| l.var() != *v && l.apply(model[l.var().index()]));
+                let satisfied_without_v =
+                    clause.iter().any(|l| l.var() != *v && l.apply(model[l.var().index()]));
                 if !satisfied_without_v {
                     let needs = clause
                         .iter()
@@ -90,9 +89,9 @@ impl PreprocessResult {
             }
             model[v.index()] = value;
             // Re-check: all clauses must now hold.
-            debug_assert!(clauses.iter().all(|c| c
+            debug_assert!(clauses
                 .iter()
-                .any(|l| l.apply(model[l.var().index()]))));
+                .all(|c| c.iter().any(|l| l.apply(model[l.var().index()]))));
         }
     }
 
@@ -152,6 +151,7 @@ pub fn preprocess(formula: &CnfFormula, config: &PreprocessConfig) -> Preprocess
     // --- Unit propagation to fixpoint -------------------------------
     loop {
         let mut changed = false;
+        #[allow(clippy::needless_range_loop)]
         for i in 0..clauses.len() {
             let Some(c) = clauses[i].clone() else { continue };
             let mut remaining: Vec<Lit> = Vec::with_capacity(c.len());
@@ -402,9 +402,7 @@ mod tests {
         if after {
             // Reconstruct a full model and check it satisfies the ORIGINAL.
             let mut model: Vec<bool> = (0..f.num_vars())
-                .map(|i| {
-                    solver.model_value(Var::new(i as u32).positive()).unwrap_or(false)
-                })
+                .map(|i| solver.model_value(Var::new(i as u32).positive()).unwrap_or(false))
                 .collect();
             result.extend_model(&mut model);
             assert_eq!(f.eval(&model), Some(true), "reconstructed model must satisfy original");
@@ -509,10 +507,7 @@ mod tests {
     #[test]
     fn growth_limit_respected() {
         // With max_growth = 0 elimination never increases clause count.
-        let f = formula(
-            &[&[1, 2], &[1, 3], &[-1, 4], &[-1, 5], &[2, 3, 4], &[4, 5]],
-            5,
-        );
+        let f = formula(&[&[1, 2], &[1, 3], &[-1, 4], &[-1, 5], &[2, 3, 4], &[4, 5]], 5);
         let before = f.num_clauses();
         let r = preprocess(&f, &PreprocessConfig::default());
         assert!(r.formula.num_clauses() <= before);

@@ -371,9 +371,7 @@ impl Solver {
     /// The value of `lit` in the most recent satisfying model, or `None` if
     /// the last `solve` did not return `Sat` or the variable did not exist.
     pub fn model_value(&self, lit: Lit) -> Option<bool> {
-        self.model
-            .get(lit.var().index())
-            .and_then(|v| v.xor(lit.is_negated()).to_bool())
+        self.model.get(lit.var().index()).and_then(|v| v.xor(lit.is_negated()).to_bool())
     }
 
     /// After an `Unsat` answer under assumptions: a subset of the assumptions
@@ -642,13 +640,16 @@ impl Solver {
         self.analyze_stack.push(p);
         let top = self.analyze_toclear.len();
         while let Some(q) = self.analyze_stack.pop() {
-            let cref = self.reason(q.var()).expect("checked by caller or pushed only with reason");
+            let cref =
+                self.reason(q.var()).expect("checked by caller or pushed only with reason");
             let clen = self.db.get(cref).len();
             for k in 1..clen {
                 let l = self.db.get(cref).lits[k];
                 let v = l.var();
                 if !self.seen[v.index()] && self.level(v) > 0 {
-                    if self.reason(v).is_some() && (self.abstract_level(v) & abstract_levels) != 0 {
+                    if self.reason(v).is_some()
+                        && (self.abstract_level(v) & abstract_levels) != 0
+                    {
                         self.seen[v.index()] = true;
                         self.analyze_stack.push(l);
                         self.analyze_toclear.push(v);
@@ -1107,6 +1108,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn pigeonhole_3_into_2_is_unsat() {
         // p_{i,j}: pigeon i in hole j. 3 pigeons, 2 holes.
         let mut s = Solver::new();
@@ -1130,6 +1132,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn pigeonhole_5_into_4_is_unsat() {
         let n = 5usize;
         let m = 4usize;
@@ -1167,6 +1170,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn conflict_budget_interrupts() {
         // A hard instance: pigeonhole 8 into 7 with a tiny conflict budget.
         let n = 8usize;
@@ -1210,9 +1214,10 @@ mod tests {
     #[test]
     fn luby_sequence_prefix() {
         let seq: Vec<f64> = (0..15).map(|i| luby(2.0, i)).collect();
-        assert_eq!(seq, vec![
-            1.0, 1.0, 2.0, 1.0, 1.0, 2.0, 4.0, 1.0, 1.0, 2.0, 1.0, 1.0, 2.0, 4.0, 8.0
-        ]);
+        assert_eq!(
+            seq,
+            vec![1.0, 1.0, 2.0, 1.0, 1.0, 2.0, 4.0, 1.0, 1.0, 2.0, 1.0, 1.0, 2.0, 4.0, 8.0]
+        );
     }
 
     #[test]

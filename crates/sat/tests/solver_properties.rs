@@ -6,7 +6,11 @@ use rand::{RngExt, SeedableRng};
 use polykey_sat::{ClauseSink, CnfFormula, Lit, SolveResult, Solver, Var};
 
 /// Strategy: a random CNF over at most `max_vars` variables.
-fn arb_cnf(max_vars: u32, max_clauses: usize, max_len: usize) -> impl Strategy<Value = CnfFormula> {
+fn arb_cnf(
+    max_vars: u32,
+    max_clauses: usize,
+    max_len: usize,
+) -> impl Strategy<Value = CnfFormula> {
     let clause = proptest::collection::vec(
         (0..max_vars, proptest::bool::ANY).prop_map(|(v, neg)| Lit::new(Var::new(v), neg)),
         1..=max_len,
@@ -170,10 +174,7 @@ fn xor_ladder_unique_solution() {
 fn graph_coloring() {
     // Triangle with 2 colors: unsat.
     let mut s = Solver::new();
-    let mut color = |s: &mut Solver| {
-        let a = ClauseSink::new_var(s).positive();
-        a
-    };
+    let color = |s: &mut Solver| ClauseSink::new_var(s).positive();
     let verts: Vec<Lit> = (0..3).map(|_| color(&mut s)).collect();
     for i in 0..3 {
         for j in (i + 1)..3 {

@@ -10,7 +10,7 @@
 use std::io::BufReader;
 
 use polykey::circuits::c17;
-use polykey::locking::{lock_sarlock_with_key, Key, SarlockConfig};
+use polykey::locking::{Key, LockScheme, Sarlock};
 use polykey::netlist::analysis::NetlistStats;
 use polykey::netlist::{parse_bench, simplify, write_bench, Netlist};
 use rand::SeedableRng as _;
@@ -31,9 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Lock it (deterministically) and show the locked stats.
     let kw = netlist.inputs().len().min(4);
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-    let key = polykey::locking::Key::random(kw, &mut rng);
-    let _ = Key::from_u64(0, 0); // (Key is also constructible from integers)
-    let locked = lock_sarlock_with_key(&netlist, &SarlockConfig::new(kw), &key)?;
+    let key = Key::random(kw, &mut rng);
+    let locked = Sarlock::new(kw).lock(&netlist, &key)?;
     println!("locked: {}", locked.netlist);
 
     // Round-trip the locked design through the .bench format.

@@ -6,8 +6,8 @@
 //! cargo run --release --example error_table
 //! ```
 
-use polykey::attack::{sat_attack, SatAttackConfig, SimOracle};
-use polykey::locking::{lock_sarlock_with_key, Key, SarlockConfig};
+use polykey::attack::{AttackSession, SimOracle};
+use polykey::locking::{Key, LockScheme, Sarlock};
 use polykey::netlist::{bits_of, GateKind, Netlist, Simulator};
 
 fn majority3() -> Result<Netlist, Box<dyn std::error::Error>> {
@@ -26,7 +26,7 @@ fn majority3() -> Result<Netlist, Box<dyn std::error::Error>> {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let original = majority3()?;
     let correct = Key::new(vec![true, false, true]); // "101" read bit0-first
-    let locked = lock_sarlock_with_key(&original, &SarlockConfig::new(3), &correct)?;
+    let locked = Sarlock::new(3).lock(&original, &correct)?;
 
     // Build the error table by exhaustive simulation.
     let mut orig = Simulator::new(&original)?;
@@ -51,12 +51,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The consequence: one DIP eliminates one key, so the one-key SAT
     // attack pays ~2^|K| iterations.
     let mut oracle = SimOracle::new(&original)?;
-    let outcome = sat_attack(&locked.netlist, &mut oracle, &SatAttackConfig::new())?;
+    let report = AttackSession::builder().oracle(&mut oracle).build()?.run(&locked.netlist)?;
     println!(
         "\none-key SAT attack: {} DIPs for a {}-bit key (≈ 2^|K|)",
-        outcome.stats.dips,
+        report.stats().dips,
         locked.key.len()
     );
+    let outcome = report.as_single_key().expect("N = 0");
     for (i, dip) in outcome.dip_patterns.iter().enumerate() {
         let as_num: u64 =
             dip.iter().enumerate().fold(0, |acc, (j, &b)| acc | (u64::from(b) << j));

@@ -6,13 +6,10 @@
 //! cargo run --release --example lut_locking
 //! ```
 
-use polykey::attack::{
-    multi_key_attack, recombine_multikey, sat_attack, MultiKeyConfig, SatAttackConfig,
-    SimOracle,
-};
+use polykey::attack::{AttackSession, SimOracle};
 use polykey::circuits::arith::multiplier;
 use polykey::encode::{check_equivalence, EquivResult};
-use polykey::locking::{lock_lut, LutConfig};
+use polykey::locking::{LockScheme, LutLock};
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -23,9 +20,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two-stage LUT module: 2 × 3-input stage-1 LUTs + 3-input stage-2
     // LUT = 24 key bits over 7 tapped nets (a scaled-down version of the
     // paper's 14-input / ~150-key module; run table2 --full for that).
-    let config = LutConfig::small();
+    let scheme = LutLock::small().with_seed(88);
     let mut rng = rand::rngs::StdRng::seed_from_u64(88);
-    let locked = lock_lut(&original, &config, &mut rng)?;
+    let locked = scheme.lock_random(&original, &mut rng)?;
     println!(
         "locked with a 2-stage LUT: {} key bits, {} gates (was {})",
         locked.key.len(),
@@ -36,28 +33,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Baseline: conventional SAT attack. LUT insertion makes each
     // iteration's miter big, which is exactly its defense mechanism.
     let mut oracle = SimOracle::new(&original)?;
-    let mut base_cfg = SatAttackConfig::new();
-    base_cfg.record_dips = false;
-    let baseline = sat_attack(&locked.netlist, &mut oracle, &base_cfg)?;
+    let baseline = AttackSession::builder()
+        .oracle(&mut oracle)
+        .record_dips(false)
+        .build()?
+        .run(&locked.netlist)?;
+    let baseline_stats = baseline.stats();
+    let cnf_vars = baseline.as_single_key().expect("N = 0").stats.cnf_vars;
     println!(
         "\nbaseline SAT attack: {} DIPs, {:?}, {} CNF vars",
-        baseline.stats.dips, baseline.stats.wall_time, baseline.stats.cnf_vars
+        baseline_stats.dips, baseline_stats.wall_time, cnf_vars
     );
 
     // The multi-key attack with N = 2 (4 parallel terms).
-    let mut mk_cfg = MultiKeyConfig::with_split_effort(2);
-    mk_cfg.sat.record_dips = false;
-    let outcome = multi_key_attack(&locked.netlist, &original, &mk_cfg)?;
-    assert!(outcome.is_complete());
+    let mut oracle = SimOracle::new(&original)?;
+    let report = AttackSession::builder()
+        .oracle(&mut oracle)
+        .split_effort(2)
+        .record_dips(false)
+        .build()?
+        .run(&locked.netlist)?;
+    assert!(report.is_complete());
+    let stats = report.stats();
+    let terms = stats.subtask_wall_times.len() as u32;
+    let mean: std::time::Duration =
+        stats.subtask_wall_times.iter().sum::<std::time::Duration>() / terms;
     println!(
         "multi-key attack (N = 2): max term {:?}, mean {:?} — vs baseline {:?}",
-        outcome.max_task_time(),
-        outcome.mean_task_time(),
-        baseline.stats.wall_time
+        stats.max_subtask_time(),
+        mean,
+        baseline_stats.wall_time
     );
 
     // Recombine and verify formally.
-    let unlocked = recombine_multikey(&locked.netlist, &outcome.split_inputs, &outcome.keys)?;
+    let unlocked = report.recombine(&locked.netlist)?;
     assert_eq!(check_equivalence(&original, &unlocked)?, EquivResult::Equivalent);
     println!("\nrecombined design formally equivalent to the original  [ok]");
     Ok(())

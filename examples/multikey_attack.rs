@@ -1,18 +1,18 @@
 //! The paper's full pipeline on a SAT-attack-resistant scheme:
-//! SARLock-locked c432, multi-key attack (Algorithm 1), MUX recombination
-//! (Fig. 1b), and formal equivalence of the recombined design.
+//! SARLock-locked c432, multi-key attack (Algorithm 1) with live progress
+//! events, MUX recombination (Fig. 1b), and formal equivalence of the
+//! recombined design.
 //!
 //! ```text
 //! cargo run --release --example multikey_attack
 //! ```
 
 use polykey::attack::{
-    multi_key_attack, recombine_multikey, sat_attack, verify_key, verify_key_on_subspace,
-    MultiKeyConfig, SatAttackConfig, SimOracle,
+    verify_key, verify_key_on_subspace, AttackSession, ProgressEvent, SimOracle,
 };
 use polykey::circuits::Iscas85;
 use polykey::encode::{check_equivalence, EquivResult};
-use polykey::locking::{lock_sarlock_with_key, Key, SarlockConfig};
+use polykey::locking::{Key, LockScheme, Sarlock};
 use polykey::netlist::simplify;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -22,52 +22,59 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // SARLock with an 8-bit key: the classic SAT attack needs ~2^8 DIPs.
     let key_width = 8;
     let correct = Key::from_u64(0b1011_0010, key_width);
-    let locked =
-        lock_sarlock_with_key(&original, &SarlockConfig::new(key_width), &correct)?;
+    let locked = Sarlock::new(key_width).lock(&original, &correct)?;
     println!("locked with SARLock |K| = {key_width}, correct key {correct}");
 
     // Baseline for comparison: the conventional one-key SAT attack.
     let mut oracle = SimOracle::new(&original)?;
-    let baseline = sat_attack(&locked.netlist, &mut oracle, &SatAttackConfig::new())?;
+    let baseline =
+        AttackSession::builder().oracle(&mut oracle).build()?.run(&locked.netlist)?;
+    let baseline_stats = baseline.stats();
     println!(
         "\nbaseline SAT attack : {} DIPs in {:?}",
-        baseline.stats.dips, baseline.stats.wall_time
+        baseline_stats.dips, baseline_stats.wall_time
     );
 
     // Algorithm 1 with N = 3: eight parallel sub-attacks, each on a
-    // cofactored + re-synthesized netlist.
-    let config = MultiKeyConfig::with_split_effort(3);
-    let outcome = multi_key_attack(&locked.netlist, &original, &config)?;
-    assert!(outcome.is_complete());
+    // cofactored + re-synthesized netlist, streaming progress events.
+    let mut oracle = SimOracle::new(&original)?;
+    let report = AttackSession::builder()
+        .oracle(&mut oracle)
+        .split_effort(3)
+        .on_progress(|event| {
+            if let ProgressEvent::TermFinished { pattern, dips, wall_time, .. } = event {
+                eprintln!("  [progress] term {pattern:03b} done: {dips} DIPs in {wall_time:?}");
+            }
+        })
+        .build()?
+        .run(&locked.netlist)?;
+    assert!(report.is_complete());
+    let outcome = report.as_multi_key().expect("N > 0");
     println!("\nmulti-key attack (N = 3, {} terms):", outcome.reports.len());
-    let split_names: Vec<&str> = outcome
-        .split_inputs
-        .iter()
-        .map(|&id| locked.netlist.node_name(id))
-        .collect();
+    let split_names: Vec<&str> =
+        report.split_inputs().iter().map(|&id| locked.netlist.node_name(id)).collect();
     println!("  split ports (fan-out cone analysis): {split_names:?}");
-    for report in &outcome.reports {
+    for term in &outcome.reports {
         println!(
             "  term {:03b}: {} DIPs, {} gates (from {}), {:?}",
-            report.pattern, report.dips, report.gates_after, report.gates_before,
-            report.wall_time
+            term.pattern, term.dips, term.gates_after, term.gates_before, term.wall_time
         );
     }
     println!(
         "  max term time {:?} vs baseline {:?}",
-        outcome.max_task_time(),
-        baseline.stats.wall_time
+        report.stats().max_subtask_time(),
+        baseline_stats.wall_time
     );
 
     // Most sub-keys are globally *incorrect* — but each unlocks its
     // sub-space. Verify both facts formally.
-    let positions: Vec<usize> = outcome
-        .split_inputs
+    let positions: Vec<usize> = report
+        .split_inputs()
         .iter()
         .map(|id| locked.netlist.inputs().iter().position(|p| p == id).expect("input"))
         .collect();
     let mut globally_wrong = 0;
-    for sub in &outcome.keys {
+    for sub in report.sub_keys() {
         let forced: Vec<(usize, bool)> = positions
             .iter()
             .enumerate()
@@ -84,11 +91,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nsub-keys: {} of {} are globally incorrect, yet all unlock their sub-space",
         globally_wrong,
-        outcome.keys.len()
+        report.sub_keys().len()
     );
 
     // Fig. 1(b): recombine with a MUX tree and prove global equivalence.
-    let recombined = recombine_multikey(&locked.netlist, &outcome.split_inputs, &outcome.keys)?;
+    let recombined = report.recombine(&locked.netlist)?;
     let (recombined, stats) = simplify(&recombined)?;
     println!(
         "\nrecombined keyless design: {} gates (after re-synthesis, was {})",

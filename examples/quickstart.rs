@@ -4,9 +4,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use polykey::attack::{sat_attack, verify_key, SatAttackConfig, SimOracle};
+use polykey::attack::{verify_key, AttackSession, SimOracle};
 use polykey::circuits::c17;
-use polykey::locking::lock_rll;
+use polykey::locking::{LockScheme, Rll};
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -16,17 +16,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. The designer locks it: 4 random XOR/XNOR key gates.
     let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
-    let locked = lock_rll(&original, 4, &mut rng)?;
+    let locked = Rll::new(4).with_seed(2024).lock_random(&original, &mut rng)?;
     println!("locked design   : {}", locked.netlist);
     println!("correct key     : {}", locked.key);
 
     // 3. The attacker has the locked netlist + a working chip (the oracle).
     let mut oracle = SimOracle::new(&original)?;
-    let outcome = sat_attack(&locked.netlist, &mut oracle, &SatAttackConfig::new())?;
-    let key = outcome.key.as_ref().expect("attack succeeds on RLL");
+    let report = AttackSession::builder().oracle(&mut oracle).build()?.run(&locked.netlist)?;
+    let stats = report.stats();
+    let key = report.key().expect("attack succeeds on RLL");
     println!(
         "attack          : {} DIPs, {} oracle queries, {:?}",
-        outcome.stats.dips, outcome.stats.oracle_queries, outcome.stats.wall_time
+        stats.dips, stats.oracle_queries, stats.wall_time
     );
     println!("recovered key   : {key}");
 

@@ -9,9 +9,9 @@
 //! | [`sat`] | `polykey-sat` | CDCL SAT solver (MiniSat-class), CNF, DIMACS |
 //! | [`netlist`] | `polykey-netlist` | gate-level IR, `.bench` I/O, simulation, analysis, re-synthesis passes |
 //! | [`encode`] | `polykey-encode` | Tseitin encoding, miters, equivalence checking |
-//! | [`locking`] | `polykey-locking` | RLL, SARLock, Anti-SAT, LUT-based insertion |
+//! | [`locking`] | `polykey-locking` | the [`locking::LockScheme`] trait: RLL, SARLock, Anti-SAT, LUT insertion |
 //! | [`circuits`] | `polykey-circuits` | ISCAS'85 stand-ins, arithmetic generators |
-//! | [`attack`] | `polykey-attack` | the SAT attack, Algorithm 1 (multi-key), Fig. 1(b) recombination, key verification |
+//! | [`attack`] | `polykey-attack` | [`attack::AttackSession`]: the SAT attack, Algorithm 1 (multi-key), Fig. 1(b) recombination, key verification |
 //!
 //! ## The idea, in one example
 //!
@@ -19,32 +19,38 @@
 //! correct key. The paper breaks that premise: split the input space on a
 //! few well-chosen ports, attack each sub-space independently (in
 //! parallel), and recombine the recovered — individually *incorrect* —
-//! keys with a MUX tree into a fully functional design:
+//! keys with a MUX tree into a fully functional design. One builder drives
+//! every scenario, and schemes are interchangeable values:
 //!
 //! ```
-//! use polykey::attack::{multi_key_attack, recombine_multikey, MultiKeyConfig};
+//! use polykey::attack::{AttackSession, SimOracle};
 //! use polykey::circuits::c17;
 //! use polykey::encode::{check_equivalence, EquivResult};
-//! use polykey::locking::{lock_sarlock_with_key, Key, SarlockConfig};
+//! use polykey::locking::{Key, LockScheme, Sarlock};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let original = c17();
-//! let locked = lock_sarlock_with_key(&original, &SarlockConfig::new(4), &Key::from_u64(9, 4))?;
+//! let locked = Sarlock::new(4).lock(&original, &Key::from_u64(9, 4))?;
 //!
-//! // Algorithm 1 with N = 2: four parallel sub-attacks.
-//! let outcome = multi_key_attack(&locked.netlist, &original, &MultiKeyConfig::with_split_effort(2))?;
-//! assert!(outcome.is_complete());
+//! // Algorithm 1 with N = 2: four parallel sub-attacks over one oracle.
+//! let mut oracle = SimOracle::new(&original)?;
+//! let report = AttackSession::builder()
+//!     .oracle(&mut oracle)
+//!     .split_effort(2)
+//!     .build()?
+//!     .run(&locked.netlist)?;
+//! assert!(report.is_complete());
 //!
 //! // Fig. 1(b): the sub-keys collectively restore the design.
-//! let unlocked = recombine_multikey(&locked.netlist, &outcome.split_inputs, &outcome.keys)?;
+//! let unlocked = report.recombine(&locked.netlist)?;
 //! assert_eq!(check_equivalence(&original, &unlocked)?, EquivResult::Equivalent);
 //! # Ok(())
 //! # }
 //! ```
 //!
-//! See `README.md` for the quickstart, `DESIGN.md` for the system
-//! inventory, and `EXPERIMENTS.md` for the paper-vs-measured comparison of
-//! every table and figure.
+//! See `README.md` for the quickstart and crate map, `DESIGN.md` for the
+//! system inventory, and `EXPERIMENTS.md` for the paper-vs-measured
+//! comparison of every table and figure.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -55,3 +61,9 @@ pub use polykey_encode as encode;
 pub use polykey_locking as locking;
 pub use polykey_netlist as netlist;
 pub use polykey_sat as sat;
+
+/// Compiles and runs every fenced Rust block in `README.md` under
+/// `cargo test`, so the README's end-to-end example cannot rot.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+struct ReadmeDoctests;
