@@ -10,6 +10,7 @@
 //! | `cargo run --release -p polykey-bench --bin table1` | Table 1 (`#DIP` vs splitting effort on SARLock) |
 //! | `cargo run --release -p polykey-bench --bin table2` | Table 2 (runtime vs LUT-based insertion) |
 //! | `cargo run --release -p polykey-bench --bin matrix` | the `LockScheme` × effort × circuit sweep |
+//! | `cargo run --release -p polykey-bench --bin batch` | batched-DIP sweep: oracle rounds vs queries at widths 1/8/32/64 |
 //! | `cargo run --release -p polykey-bench --bin ablation_split` | split-port heuristic ablation (§4) |
 //! | `cargo run --release -p polykey-bench --bin ablation_simplify` | Alg. 1 line 4 re-synthesis ablation |
 //! | `cargo run --release -p polykey-bench --bin defense_probe` | the conclusion's defense direction |

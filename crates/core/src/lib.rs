@@ -18,7 +18,10 @@
 //!   the original design.
 //! - [`Oracle`] / [`SimOracle`] / [`RestrictedOracle`] — the attacker's
 //!   black-box chip access; any `Send` implementation plugs into a
-//!   session.
+//!   session. [`Oracle::query_batch`] answers a whole batch of patterns
+//!   per round-trip, and `AttackSessionBuilder::dip_batch` makes every
+//!   attack harvest and answer its DIPs in such batches (a [`SimOracle`]
+//!   serves 64 patterns per bit-parallel simulation pass).
 //! - [`select_split_inputs`] — the paper's fan-out-cone split-port
 //!   heuristic plus ablation strategies.
 //! - [`verify_key`] / [`verify_key_on_subspace`] — SAT-based key checks;
@@ -65,7 +68,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod approx;

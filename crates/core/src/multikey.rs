@@ -71,12 +71,21 @@ impl Oracle for TermOracle<'_, '_> {
     }
 
     fn query(&mut self, input: &[bool]) -> Vec<bool> {
-        let mut forced_input = input.to_vec();
-        for &(i, v) in &self.forced {
-            forced_input[i] = v;
-        }
+        let forced_input = crate::oracle::apply_forced(input, &self.forced);
         self.queries += 1;
         self.shared.inner.lock().expect("oracle lock poisoned").query(&forced_input)
+    }
+
+    fn query_batch(&mut self, inputs: &[Vec<bool>]) -> Vec<Vec<bool>> {
+        let forced_inputs: Vec<Vec<bool>> = inputs
+            .iter()
+            .map(|input| crate::oracle::apply_forced(input, &self.forced))
+            .collect();
+        self.queries += inputs.len() as u64;
+        // One lock acquisition serves the whole batch, so concurrent terms
+        // amortize contention on the shared oracle along with the
+        // round-trip itself.
+        self.shared.inner.lock().expect("oracle lock poisoned").query_batch(&forced_inputs)
     }
 
     fn queries(&self) -> u64 {
@@ -153,8 +162,11 @@ pub struct SubTaskReport {
     pub status: AttackStatus,
     /// `#DIP` for this term.
     pub dips: u64,
-    /// Oracle queries issued by this term.
+    /// Oracle queries issued by this term (one per answered DIP).
     pub oracle_queries: u64,
+    /// Oracle round-trips made by this term (a batch of DIPs answered by
+    /// one [`Oracle::query_batch`] call counts once).
+    pub oracle_rounds: u64,
     /// Solver conflicts in this term's SAT attack.
     pub solver_conflicts: u64,
     /// Wall-clock time of this term (its own timer; terms overlap when
@@ -311,6 +323,7 @@ pub(crate) fn run_multi_key(
             status: outcome.status,
             dips: outcome.stats.dips,
             oracle_queries: outcome.stats.oracle_queries,
+            oracle_rounds: outcome.stats.oracle_rounds,
             solver_conflicts: outcome.stats.solver.conflicts,
             wall_time: term_start.elapsed(),
             gates_before: locked.num_gates(),

@@ -8,7 +8,7 @@
 //! the split bits (the sub-attack may ask about any input, but the answers
 //! must correspond to the sub-space being attacked).
 
-use polykey_netlist::{Netlist, NetlistError, Simulator};
+use polykey_netlist::{pack_patterns, unpack_patterns, Netlist, NetlistError, Simulator};
 
 /// Black-box input/output access to the original (unlocked) circuit.
 pub trait Oracle {
@@ -25,7 +25,47 @@ pub trait Oracle {
     /// Implementations may panic if `input` has the wrong width.
     fn query(&mut self, input: &[bool]) -> Vec<bool>;
 
+    /// Answers a whole batch of input patterns in one oracle round-trip,
+    /// returning one response per pattern, in order.
+    ///
+    /// The default implementation loops over [`Oracle::query`], so every
+    /// existing oracle keeps working; oracles backed by a bit-parallel
+    /// simulator override it to answer up to 64 patterns per simulation
+    /// pass (see [`SimOracle`]). The batched SAT attack
+    /// (`AttackSessionBuilder::dip_batch`) funnels all its DIP traffic
+    /// through this method, so one round-trip amortizes over many DIPs.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if any pattern has the wrong width.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use polykey_attack::{Oracle, SimOracle};
+    /// use polykey_netlist::{GateKind, Netlist};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut nl = Netlist::new("inv");
+    /// let a = nl.add_input("a")?;
+    /// let y = nl.add_gate("y", GateKind::Not, &[a])?;
+    /// nl.mark_output(y)?;
+    ///
+    /// let mut oracle = SimOracle::new(&nl)?;
+    /// let batch = vec![vec![false], vec![true]];
+    /// // One packed pass answers both patterns...
+    /// assert_eq!(oracle.query_batch(&batch), vec![vec![true], vec![false]]);
+    /// // ...and each pattern still counts as one query.
+    /// assert_eq!(oracle.queries(), 2);
+    /// # Ok(())
+    /// # }
+    /// ```
+    fn query_batch(&mut self, inputs: &[Vec<bool>]) -> Vec<Vec<bool>> {
+        inputs.iter().map(|input| self.query(input)).collect()
+    }
+
     /// Number of queries served so far (the attack's oracle-access cost).
+    /// A batch of `k` patterns counts as `k` queries.
     fn queries(&self) -> u64;
 }
 
@@ -87,9 +127,34 @@ impl Oracle for SimOracle<'_> {
         self.sim.eval(input, &[])
     }
 
+    fn query_batch(&mut self, inputs: &[Vec<bool>]) -> Vec<Vec<bool>> {
+        let width = self.num_inputs();
+        let mut responses = Vec::with_capacity(inputs.len());
+        // One bit-parallel pass per 64 patterns: pattern p of the chunk
+        // rides bit p of each input word.
+        for chunk in inputs.chunks(64) {
+            let packed_in = pack_patterns(chunk, width);
+            let packed_out = self.sim.eval_packed(&packed_in, &[]);
+            responses.extend(unpack_patterns(&packed_out, chunk.len()));
+        }
+        self.queries += inputs.len() as u64;
+        responses
+    }
+
     fn queries(&self) -> u64 {
         self.queries
     }
+}
+
+/// Applies `(index, value)` forcings to one input pattern — the shared
+/// mechanics of [`RestrictedOracle`] and the multi-key engine's per-term
+/// oracle, for single queries and batches alike.
+pub(crate) fn apply_forced(input: &[bool], forced: &[(usize, bool)]) -> Vec<bool> {
+    let mut forced_input = input.to_vec();
+    for &(i, v) in forced {
+        forced_input[i] = v;
+    }
+    forced_input
 }
 
 /// Wraps an oracle so that selected input positions are forced to fixed
@@ -130,11 +195,13 @@ impl<O: Oracle> Oracle for RestrictedOracle<O> {
     }
 
     fn query(&mut self, input: &[bool]) -> Vec<bool> {
-        let mut forced_input = input.to_vec();
-        for &(i, v) in &self.forced {
-            forced_input[i] = v;
-        }
-        self.inner.query(&forced_input)
+        self.inner.query(&apply_forced(input, &self.forced))
+    }
+
+    fn query_batch(&mut self, inputs: &[Vec<bool>]) -> Vec<Vec<bool>> {
+        let forced_inputs: Vec<Vec<bool>> =
+            inputs.iter().map(|input| apply_forced(input, &self.forced)).collect();
+        self.inner.query_batch(&forced_inputs)
     }
 
     fn queries(&self) -> u64 {
@@ -184,6 +251,56 @@ mod tests {
         assert_eq!(restricted.query(&[false, false]), vec![true]);
         assert_eq!(restricted.query(&[true, false]), vec![true]);
         assert_eq!(restricted.query(&[false, true]), vec![false]);
+        assert_eq!(restricted.queries(), 3);
+    }
+
+    #[test]
+    fn batch_agrees_with_sequential_queries() {
+        let nl = xor2();
+        let patterns: Vec<Vec<bool>> =
+            (0..4u64).map(|v| polykey_netlist::bits_of(v, 2)).collect();
+        let mut sequential = SimOracle::new(&nl).unwrap();
+        let expected: Vec<Vec<bool>> = patterns.iter().map(|p| sequential.query(p)).collect();
+        let mut batched = SimOracle::new(&nl).unwrap();
+        assert_eq!(batched.query_batch(&patterns), expected);
+        assert_eq!(batched.queries(), 4);
+    }
+
+    #[test]
+    fn batch_larger_than_one_packed_word() {
+        // 5 inputs, 96 patterns: the packed implementation must chunk.
+        let mut nl = Netlist::new("parity5");
+        let inputs: Vec<_> = (0..5).map(|i| nl.add_input(format!("x{i}")).unwrap()).collect();
+        let y = nl.add_gate("y", GateKind::Xor, &inputs).unwrap();
+        nl.mark_output(y).unwrap();
+        let patterns: Vec<Vec<bool>> =
+            (0..96u64).map(|v| polykey_netlist::bits_of(v % 32, 5)).collect();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        let responses = oracle.query_batch(&patterns);
+        assert_eq!(responses.len(), 96);
+        for (pattern, response) in patterns.iter().zip(&responses) {
+            let parity = pattern.iter().filter(|&&b| b).count() % 2 == 1;
+            assert_eq!(response, &vec![parity]);
+        }
+        assert_eq!(oracle.queries(), 96);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let nl = xor2();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        assert!(oracle.query_batch(&[]).is_empty());
+        assert_eq!(oracle.queries(), 0);
+    }
+
+    #[test]
+    fn restricted_oracle_forces_bits_in_batches() {
+        let nl = xor2();
+        let oracle = SimOracle::new(&nl).unwrap();
+        let mut restricted = RestrictedOracle::new(oracle, vec![(0, true)]);
+        let responses =
+            restricted.query_batch(&[vec![false, false], vec![true, false], vec![false, true]]);
+        assert_eq!(responses, vec![vec![true], vec![true], vec![false]]);
         assert_eq!(restricted.queries(), 3);
     }
 

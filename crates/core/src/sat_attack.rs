@@ -19,7 +19,9 @@
 
 use std::time::{Duration, Instant};
 
-use polykey_encode::{assert_value, build_miter, encode, Binding, PortBinding};
+use polykey_encode::{
+    assert_equal, assert_value, build_miter, encode, Binding, CnfValue, PortBinding,
+};
 use polykey_locking::Key;
 use polykey_netlist::Netlist;
 use polykey_sat::{SolveResult, Solver, SolverConfig, SolverStats};
@@ -71,13 +73,31 @@ pub struct SatAttackConfig {
     /// attack and of the paper's tooling, whose per-iteration CNF growth is
     /// what makes LUT-based insertion expensive in Table 2.
     pub fold_dip_copies: bool,
+    /// Maximum DIPs harvested per oracle round-trip (values `0` and `1`
+    /// both mean the classic one-DIP-per-round loop).
+    ///
+    /// With `dip_batch = k > 1`, each refinement epoch re-solves the miter
+    /// under blocking clauses to collect up to `k` distinct DIPs, answers
+    /// them all in a single [`Oracle::query_batch`] call, and only then
+    /// asserts the consistency constraints. Oracles backed by the packed
+    /// simulator serve up to 64 patterns per simulation pass, so `64`
+    /// matches the simulator word width. The recovered key is functionally
+    /// identical either way; the trade is more (cheap) solver calls and
+    /// possibly redundant DIPs against far fewer (expensive) oracle
+    /// round-trips — see `SatAttackStats::oracle_rounds`.
+    pub dip_batch: usize,
 }
 
 impl SatAttackConfig {
     /// The default configuration: unlimited, recording DIPs, folding
-    /// per-DIP copies.
+    /// per-DIP copies, one DIP per oracle round.
     pub fn new() -> SatAttackConfig {
-        SatAttackConfig { record_dips: true, fold_dip_copies: true, ..Default::default() }
+        SatAttackConfig {
+            record_dips: true,
+            fold_dip_copies: true,
+            dip_batch: 1,
+            ..Default::default()
+        }
     }
 
     /// The textbook configuration: per-DIP constraints as full circuit
@@ -108,8 +128,14 @@ pub enum AttackStatus {
 pub struct SatAttackStats {
     /// Distinguishing input patterns found (`#DIP` in the paper).
     pub dips: u64,
-    /// Oracle queries issued.
+    /// Oracle queries issued (one per answered DIP, regardless of
+    /// batching).
     pub oracle_queries: u64,
+    /// Oracle round-trips: a batch of DIPs answered by one
+    /// [`Oracle::query_batch`] call counts once. Equals `oracle_queries`
+    /// when `dip_batch <= 1`; the gap between the two is exactly what
+    /// batching saves.
+    pub oracle_rounds: u64,
     /// Total wall-clock time.
     pub wall_time: Duration,
     /// Final solver counters (cumulative over all iterations).
@@ -184,6 +210,44 @@ pub fn sat_attack(
     run_sat_attack(locked, oracle, config, &RunCtl::default())
 }
 
+/// A DIP harvested in the current epoch but not yet answered by the
+/// oracle. All but the last DIP of a batch carry their already-encoded
+/// constraint copies (`[left, right]` output values), added during the
+/// harvest to steer subsequent re-solves; the oracle's response is later
+/// asserted directly on those values.
+struct PendingDip {
+    dip: Vec<bool>,
+    copies: Option<[Vec<CnfValue>; 2]>,
+}
+
+/// Encodes one consistency-constraint copy of `locked` at `dip` for the
+/// given shared key literals, returning the copy's output values. In the
+/// folded mode inputs are pinned as constants (the copy collapses to its
+/// key cone); in textbook mode a full copy is added with unit clauses on
+/// the inputs.
+fn encode_constraint_copy(
+    solver: &mut Solver,
+    locked: &Netlist,
+    config: &SatAttackConfig,
+    dip: &[bool],
+    keys: &[polykey_sat::Lit],
+) -> Result<Vec<CnfValue>, AttackError> {
+    let binding = if config.fold_dip_copies {
+        Binding::with_pinned_inputs_shared_keys(dip, keys)
+    } else {
+        let mut b = Binding::fresh(locked);
+        b.keys = keys.iter().map(|&l| PortBinding::Shared(l)).collect();
+        b
+    };
+    let enc = encode(solver, locked, &binding)?;
+    if !config.fold_dip_copies {
+        for (val, &bit) in enc.inputs.iter().zip(dip) {
+            assert_value(solver, *val, bit);
+        }
+    }
+    Ok(enc.outputs)
+}
+
 /// The DIP-refinement engine behind both [`sat_attack`] and
 /// [`crate::AttackSession`].
 pub(crate) fn run_sat_attack(
@@ -223,10 +287,12 @@ pub(crate) fn run_sat_attack(
     }
 
     let mut dips: u64 = 0;
+    let mut oracle_rounds: u64 = 0;
     let mut dip_patterns: Vec<Vec<bool>> = Vec::new();
     let finish = |status: AttackStatus,
                   key: Option<Key>,
                   dips: u64,
+                  oracle_rounds: u64,
                   dip_patterns: Vec<Vec<bool>>,
                   solver: &Solver,
                   oracle: &dyn Oracle| SatAttackOutcome {
@@ -236,11 +302,17 @@ pub(crate) fn run_sat_attack(
         stats: SatAttackStats {
             dips,
             oracle_queries: oracle.queries() - queries_at_start,
+            oracle_rounds,
             wall_time: start.elapsed(),
             solver: *solver.stats(),
             cnf_vars: solver.num_vars(),
             cnf_clauses: solver.num_clauses(),
         },
+    };
+
+    // Reads the current model's primary-input assignment — one DIP.
+    let extract_dip = |solver: &Solver| -> Vec<bool> {
+        miter.inputs.iter().map(|&l| solver.model_value(l).unwrap_or(false)).collect()
     };
 
     loop {
@@ -250,6 +322,7 @@ pub(crate) fn run_sat_attack(
                 AttackStatus::Cancelled,
                 None,
                 dips,
+                oracle_rounds,
                 dip_patterns,
                 &solver,
                 oracle,
@@ -263,6 +336,7 @@ pub(crate) fn run_sat_attack(
                     AttackStatus::TimeLimit,
                     None,
                     dips,
+                    oracle_rounds,
                     dip_patterns,
                     &solver,
                     oracle,
@@ -276,45 +350,108 @@ pub(crate) fn run_sat_attack(
                     AttackStatus::TimeLimit,
                     None,
                     dips,
+                    oracle_rounds,
                     dip_patterns,
                     &solver,
                     oracle,
                 ));
             }
             SolveResult::Sat => {
-                // Extract the DIP and learn the oracle's response.
-                let dip: Vec<bool> = miter
-                    .inputs
-                    .iter()
-                    .map(|&l| solver.model_value(l).unwrap_or(false))
-                    .collect();
-                let response = oracle.query(&dip);
-                dips += 1;
-                if let Some(on_dip) = ctl.on_dip {
-                    on_dip(dips);
-                }
-                if config.record_dips {
-                    dip_patterns.push(dip.clone());
-                }
-                // Both key copies must reproduce the response at this input.
-                for keys in [&miter.keys_left, &miter.keys_right] {
-                    let binding = if config.fold_dip_copies {
-                        Binding::with_pinned_inputs_shared_keys(&dip, keys)
-                    } else {
-                        // Textbook mode: a full copy with fresh input
-                        // variables pinned by unit clauses.
-                        let mut b = Binding::fresh(locked);
-                        b.keys = keys.iter().map(|&l| PortBinding::Shared(l)).collect();
-                        b
-                    };
-                    let enc = encode(&mut solver, locked, &binding)?;
-                    if !config.fold_dip_copies {
-                        for (val, &bit) in enc.inputs.iter().zip(&dip) {
-                            assert_value(&mut solver, *val, bit);
-                        }
+                // Harvest up to `dip_batch` distinct DIPs before paying the
+                // oracle round-trip. After each harvested DIP the two
+                // constraint copies are encoded immediately and their
+                // outputs tied together (`assert_equal`): requiring the key
+                // copies to *agree* at the pending input is a relaxation of
+                // the response constraint asserted below once the oracle
+                // answers, so no consistent key pair is lost — but the
+                // re-solve can no longer return a key pair the pending
+                // answer would eliminate anyway, steering every harvested
+                // DIP toward fresh key-space. The copies are kept so the
+                // answer lands on the same CNF: batching costs no extra
+                // circuit encodings over the classic loop.
+                let mut batch: Vec<PendingDip> = Vec::new();
+                let mut dip = extract_dip(&solver);
+                let target = match config.max_dips {
+                    // Never harvest past the DIP limit.
+                    Some(max) => config.dip_batch.max(1).min((max - dips) as usize),
+                    None => config.dip_batch.max(1),
+                };
+                loop {
+                    if batch.len() + 1 >= target || ctl.cancelled() {
+                        // The epoch's last DIP needs no steering copies;
+                        // it is encoded on the classic path when answered.
+                        batch.push(PendingDip { dip, copies: None });
+                        break;
                     }
-                    for (out, &want) in enc.outputs.iter().zip(&response) {
-                        assert_value(&mut solver, *out, want);
+                    let left = encode_constraint_copy(
+                        &mut solver,
+                        locked,
+                        config,
+                        &dip,
+                        &miter.keys_left,
+                    )?;
+                    let right = encode_constraint_copy(
+                        &mut solver,
+                        locked,
+                        config,
+                        &dip,
+                        &miter.keys_right,
+                    )?;
+                    for (&l, &r) in left.iter().zip(&right) {
+                        assert_equal(&mut solver, l, r);
+                    }
+                    batch.push(PendingDip { dip, copies: Some([left, right]) });
+                    if let Some(dl) = deadline {
+                        let now = Instant::now();
+                        if now >= dl {
+                            break;
+                        }
+                        solver.set_time_budget(Some(dl - now));
+                    }
+                    match solver.solve(&[miter.diff]) {
+                        SolveResult::Sat => dip = extract_dip(&solver),
+                        // Unsat: the epoch drained every remaining DIP (the
+                        // outer loop terminates once the answers land).
+                        // Unknown: out of time budget; answer what we have.
+                        SolveResult::Unsat | SolveResult::Unknown => break,
+                    }
+                }
+                // One oracle round answers the whole batch.
+                let patterns: Vec<Vec<bool>> = batch.iter().map(|p| p.dip.clone()).collect();
+                let responses = oracle.query_batch(&patterns);
+                oracle_rounds += 1;
+                for (pending, response) in batch.iter().zip(&responses) {
+                    dips += 1;
+                    if let Some(on_dip) = ctl.on_dip {
+                        on_dip(dips);
+                    }
+                    if config.record_dips {
+                        dip_patterns.push(pending.dip.clone());
+                    }
+                    // Both key copies must reproduce the response at this
+                    // input.
+                    match &pending.copies {
+                        Some(copies) => {
+                            for outputs in copies {
+                                for (out, &bit) in outputs.iter().zip(response) {
+                                    assert_value(&mut solver, *out, bit);
+                                }
+                            }
+                        }
+                        None => {
+                            for keys in [&miter.keys_left, &miter.keys_right] {
+                                let outputs = encode_constraint_copy(
+                                    &mut solver,
+                                    locked,
+                                    config,
+                                    &pending.dip,
+                                    keys,
+                                )?;
+                                for (out, &bit) in outputs.iter().zip(response) {
+                                    assert_value(&mut solver, *out, bit);
+                                }
+                            }
+                        }
                     }
                 }
                 if let Some(max) = config.max_dips {
@@ -323,6 +460,7 @@ pub(crate) fn run_sat_attack(
                             AttackStatus::DipLimit,
                             None,
                             dips,
+                            oracle_rounds,
                             dip_patterns,
                             &solver,
                             oracle,
@@ -338,6 +476,7 @@ pub(crate) fn run_sat_attack(
                         AttackStatus::Cancelled,
                         None,
                         dips,
+                        oracle_rounds,
                         dip_patterns,
                         &solver,
                         oracle,
@@ -350,6 +489,7 @@ pub(crate) fn run_sat_attack(
                             AttackStatus::TimeLimit,
                             None,
                             dips,
+                            oracle_rounds,
                             dip_patterns,
                             &solver,
                             oracle,
@@ -370,6 +510,7 @@ pub(crate) fn run_sat_attack(
                             AttackStatus::Success,
                             Some(key),
                             dips,
+                            oracle_rounds,
                             dip_patterns,
                             &solver,
                             oracle,
@@ -379,6 +520,7 @@ pub(crate) fn run_sat_attack(
                         AttackStatus::Inconsistent,
                         None,
                         dips,
+                        oracle_rounds,
                         dip_patterns,
                         &solver,
                         oracle,
@@ -387,6 +529,7 @@ pub(crate) fn run_sat_attack(
                         AttackStatus::TimeLimit,
                         None,
                         dips,
+                        oracle_rounds,
                         dip_patterns,
                         &solver,
                         oracle,
@@ -482,6 +625,73 @@ mod tests {
         // The recovered key need not equal the nominal one (Anti-SAT has
         // 2^n correct keys), but it must be functionally correct.
         assert!(key_is_functionally_correct(&nl, &locked.netlist, &key));
+    }
+
+    #[test]
+    fn batched_attack_matches_sequential_key_with_fewer_rounds() {
+        // SARLock |K|=3 needs ~7 DIPs; batching must recover an equally
+        // correct key while folding those DIPs into far fewer oracle
+        // rounds.
+        let nl = majority3();
+        let key = polykey_locking::Key::from_u64(0b101, 3);
+        let locked = lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &key).unwrap();
+
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        let sequential =
+            sat_attack(&locked.netlist, &mut oracle, &SatAttackConfig::new()).unwrap();
+        assert!(sequential.is_success());
+        assert_eq!(sequential.stats.oracle_rounds, sequential.stats.dips);
+
+        let mut config = SatAttackConfig::new();
+        config.dip_batch = 64;
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        let batched = sat_attack(&locked.netlist, &mut oracle, &config).unwrap();
+        assert!(batched.is_success());
+        let got = batched.key.expect("key");
+        assert!(key_is_functionally_correct(&nl, &locked.netlist, &got));
+        // Every DIP is still one query, but the rounds collapse.
+        assert_eq!(batched.stats.oracle_queries, batched.stats.dips);
+        assert!(
+            batched.stats.oracle_rounds < batched.stats.dips,
+            "rounds {} must drop below dips {}",
+            batched.stats.oracle_rounds,
+            batched.stats.dips
+        );
+        // All recorded DIPs are distinct: blocking clauses forbid repeats.
+        let mut seen = batched.dip_patterns.clone();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), batched.dip_patterns.len());
+    }
+
+    #[test]
+    fn batch_harvest_respects_dip_limit() {
+        let nl = majority3();
+        let key = polykey_locking::Key::from_u64(0b110, 3);
+        let locked = lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &key).unwrap();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        let mut config = SatAttackConfig::new();
+        config.max_dips = Some(2);
+        config.dip_batch = 64;
+        let outcome = sat_attack(&locked.netlist, &mut oracle, &config).unwrap();
+        assert_eq!(outcome.status, AttackStatus::DipLimit);
+        assert_eq!(outcome.stats.dips, 2, "harvest must not overshoot max_dips");
+        assert_eq!(outcome.stats.oracle_rounds, 1);
+    }
+
+    #[test]
+    fn batched_textbook_engine_still_breaks_sarlock() {
+        let nl = majority3();
+        let key = polykey_locking::Key::from_u64(0b011, 3);
+        let locked = lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &key).unwrap();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        let mut config = SatAttackConfig::textbook();
+        config.dip_batch = 8;
+        let outcome = sat_attack(&locked.netlist, &mut oracle, &config).unwrap();
+        assert!(outcome.is_success());
+        let got = outcome.key.expect("key");
+        assert!(key_is_functionally_correct(&nl, &locked.netlist, &got));
+        assert!(outcome.stats.oracle_rounds < outcome.stats.dips);
     }
 
     #[test]

@@ -48,6 +48,6 @@ mod tseitin;
 pub use equiv::{check_equivalence, EquivError, EquivResult};
 pub use miter::{build_miter, Miter, MiterError};
 pub use tseitin::{
-    assert_value, encode, encode_key_variant, Binding, CnfValue, EncodeError, EncodedCircuit,
-    PortBinding,
+    assert_equal, assert_value, encode, encode_key_variant, Binding, CnfValue, EncodeError,
+    EncodedCircuit, PortBinding,
 };

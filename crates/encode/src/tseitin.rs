@@ -443,6 +443,30 @@ fn encode_mux<S: ClauseSink>(
     }
 }
 
+/// Asserts that two CNF values are equal, without fixing what the value is.
+///
+/// Used by the batched SAT attack to mark a harvested DIP as *resolved*
+/// before the oracle has answered it: requiring the two key copies to agree
+/// at that input is a relaxation of the eventual response constraint, so no
+/// consistent key pair is lost — but the miter can no longer propose a key
+/// pair that the pending answer would eliminate anyway.
+pub fn assert_equal<S: ClauseSink>(sink: &mut S, a: CnfValue, b: CnfValue) {
+    match (a, b) {
+        (CnfValue::Const(x), CnfValue::Const(y)) => {
+            if x != y {
+                sink.add_clause(&[]);
+            }
+        }
+        (CnfValue::Lit(l), CnfValue::Const(c)) | (CnfValue::Const(c), CnfValue::Lit(l)) => {
+            sink.add_clause(&[if c { l } else { !l }]);
+        }
+        (CnfValue::Lit(l), CnfValue::Lit(r)) => {
+            sink.add_clause(&[!l, r]);
+            sink.add_clause(&[l, !r]);
+        }
+    }
+}
+
 /// Asserts that a CNF value equals a boolean constant. For a constant value
 /// that disagrees, adds the empty clause (making the formula unsatisfiable),
 /// which faithfully encodes the contradiction.

@@ -50,6 +50,36 @@ use crate::common::{Key, LockError, LockedCircuit};
 /// (which wires to cut, which nets to tap) are derived from a seed stored
 /// on the scheme value, so [`LockScheme::lock`] is deterministic: the same
 /// scheme value, netlist, and key always produce the same locked circuit.
+///
+/// # Examples
+///
+/// Locking is functionally invisible under the requested key:
+///
+/// ```
+/// use polykey_locking::{Key, LockScheme, Rll};
+/// use polykey_netlist::{GateKind, Netlist, Simulator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut nl = Netlist::new("toy");
+/// let a = nl.add_input("a")?;
+/// let b = nl.add_input("b")?;
+/// let g = nl.add_gate("g", GateKind::Or, &[a, b])?;
+/// let y = nl.add_gate("y", GateKind::Nand, &[g, a])?;
+/// nl.mark_output(y)?;
+///
+/// let scheme = Rll::new(2).with_seed(7);
+/// let locked = scheme.lock(&nl, &Key::from_u64(0b10, scheme.key_len(&nl)))?;
+/// assert_eq!(locked.netlist.key_inputs().len(), 2);
+///
+/// let mut orig = Simulator::new(&nl)?;
+/// let mut sim = Simulator::new(&locked.netlist)?;
+/// for v in 0..4u64 {
+///     let bits = [v & 1 == 1, v >> 1 & 1 == 1];
+///     assert_eq!(sim.eval(&bits, locked.key.bits()), orig.eval(&bits, &[]));
+/// }
+/// # Ok(())
+/// # }
+/// ```
 pub trait LockScheme: Send + Sync {
     /// A short stable identifier (`"rll"`, `"sarlock"`, …) for reports and
     /// harness tables.

@@ -134,6 +134,18 @@ pub fn pack_patterns(patterns: &[Vec<bool>], width: usize) -> Vec<u64> {
     words
 }
 
+/// Unpacks per-port words (as produced by [`Simulator::eval_packed`]) back
+/// into per-pattern boolean rows — the inverse of [`pack_patterns`] for the
+/// first `count` patterns: row `p` element `i` is bit `p` of word `i`.
+///
+/// # Panics
+///
+/// Panics if `count` exceeds the 64 patterns a packed word can carry.
+pub fn unpack_patterns(words: &[u64], count: usize) -> Vec<Vec<bool>> {
+    assert!(count <= 64, "at most 64 patterns per packed word");
+    (0..count).map(|p| words.iter().map(|&w| w >> p & 1 == 1).collect()).collect()
+}
+
 /// Expands a little-endian bit pattern of `width` bits from an integer:
 /// bit `i` of `value` becomes element `i`.
 pub fn bits_of(value: u64, width: usize) -> Vec<bool> {
@@ -199,6 +211,15 @@ mod tests {
                 assert_eq!(word >> p & 1 == 1, scalar[o], "pattern {p} output {o}");
             }
         }
+    }
+
+    #[test]
+    fn unpack_inverts_pack() {
+        let patterns: Vec<Vec<bool>> = (0..13).map(|p| bits_of(p * 5 % 32, 5)).collect();
+        let words = pack_patterns(&patterns, 5);
+        assert_eq!(unpack_patterns(&words, patterns.len()), patterns);
+        // A shorter count unpacks a prefix.
+        assert_eq!(unpack_patterns(&words, 3), patterns[..3].to_vec());
     }
 
     #[test]

@@ -32,7 +32,7 @@
 //! Encoders that should work against either a [`Solver`] or a
 //! [`CnfFormula`] can be written against the [`ClauseSink`] trait.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod clause;

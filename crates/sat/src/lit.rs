@@ -6,7 +6,7 @@ use std::ops::Not;
 /// A propositional variable, numbered densely from 0.
 ///
 /// Variables are created by [`Solver::new_var`](crate::Solver::new_var) or
-/// [`CnfFormula::new_var`](crate::CnfFormula::new_var) and are only meaningful
+/// [`ClauseSink::new_var`](crate::ClauseSink::new_var) and are only meaningful
 /// with respect to the formula or solver that created them.
 ///
 /// # Examples

@@ -37,10 +37,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Algorithm 1 with N = 3: eight parallel sub-attacks, each on a
     // cofactored + re-synthesized netlist, streaming progress events.
+    // `dip_batch(64)` makes every sub-attack harvest up to 64 DIPs per
+    // epoch and answer them in one packed oracle pass.
     let mut oracle = SimOracle::new(&original)?;
     let report = AttackSession::builder()
         .oracle(&mut oracle)
         .split_effort(3)
+        .dip_batch(64)
         .on_progress(|event| {
             if let ProgressEvent::TermFinished { pattern, dips, wall_time, .. } = event {
                 eprintln!("  [progress] term {pattern:03b} done: {dips} DIPs in {wall_time:?}");
@@ -64,6 +67,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  max term time {:?} vs baseline {:?}",
         report.stats().max_subtask_time(),
         baseline_stats.wall_time
+    );
+    println!(
+        "  oracle traffic: {} DIPs answered in {} round-trips (baseline: {} in {})",
+        report.stats().oracle_queries,
+        report.stats().oracle_rounds,
+        baseline_stats.oracle_queries,
+        baseline_stats.oracle_rounds
     );
 
     // Most sub-keys are globally *incorrect* — but each unlocks its
