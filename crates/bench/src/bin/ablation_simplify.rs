@@ -9,71 +9,19 @@
 //! Re-synthesis shrinks each term's netlist (smaller miters, smaller
 //! per-DIP CNF copies); this binary quantifies both the size and the time
 //! effect on a LUT-locked circuit.
+//!
+//! This bin runs the registered `ablation_simplify` scenario;
+//! `bench --only ablation_simplify` runs the same code and additionally
+//! persists `BENCH_attack.json`.
 
-use polykey_attack::{AttackSession, SimOracle, SplitStrategy};
-use polykey_bench::{fmt_duration, HarnessArgs, TextTable};
-use polykey_circuits::Iscas85;
-use polykey_locking::{LockScheme, LutLock};
-use rand::SeedableRng;
+use polykey_bench::{harness, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let circuit = if args.quick { Iscas85::C880 } else { Iscas85::C1908 };
-    let scheme = if args.full { LutLock::paper() } else { LutLock::small() };
-    let seed = args.seed.unwrap_or(0xAB1A7E);
-    let scheme = scheme.with_seed(seed);
-
-    let original = circuit.build();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let locked = scheme.lock_random(&original, &mut rng).expect("lockable");
-
-    println!(
-        "Re-synthesis ablation: LUT({} keys) on {}, N = 4, 16 parallel terms\n",
-        scheme.key_bits(),
-        circuit
-    );
-
-    let mut table = TextTable::new(vec![
-        "variant",
-        "term gates (min..max)",
-        "max term time",
-        "mean term time",
-    ]);
-    for (name, simplify) in
-        [("with re-synthesis (paper)", true), ("without (pinned only)", false)]
-    {
-        let mut builder = AttackSession::builder()
-            .split_effort(4)
-            .strategy(SplitStrategy::FanoutCone)
-            .simplify(simplify)
-            .record_dips(false);
-        if let Some(cap) = args.time_cap {
-            builder = builder.time_budget(std::time::Duration::from_secs(cap));
-        }
-        let mut oracle = SimOracle::new(&original).expect("oracle");
-        let report = builder
-            .oracle(&mut oracle)
-            .build()
-            .expect("oracle provided")
-            .run(&locked.netlist)
-            .expect("attack runs");
-        assert!(report.is_complete());
-        let outcome = report.as_multi_key().expect("N > 0");
-        let min_g = outcome.reports.iter().map(|r| r.gates_after).min().unwrap_or(0);
-        let max_g = outcome.reports.iter().map(|r| r.gates_after).max().unwrap_or(0);
-        table.row(vec![
-            name.to_string(),
-            format!("{min_g}..{max_g}"),
-            fmt_duration(outcome.max_task_time()),
-            fmt_duration(outcome.mean_task_time()),
-        ]);
-        eprintln!("  {name}: done in {}", fmt_duration(report.stats().wall_time));
+    let result = harness::run_scenario("ablation_simplify", &args.ctx())
+        .expect("ablation_simplify is registered");
+    print!("{}", result.rendered);
+    if let Some(table) = &result.table {
+        args.maybe_write_csv(table);
     }
-    println!("{}", table.render());
-    println!(
-        "locked design has {} gates; pinning alone keeps them all, while",
-        locked.netlist.num_gates()
-    );
-    println!("re-synthesis folds the pinned logic away before the SAT attack.");
-    args.maybe_write_csv(&table);
 }

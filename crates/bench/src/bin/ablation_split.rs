@@ -10,65 +10,19 @@
 //! finds) halves `#DIP` per level; splitting on unrelated inputs leaves
 //! `#DIP` at the baseline value — the heuristic is what makes Table 1's
 //! exponential decay happen.
+//!
+//! This bin runs the registered `ablation_split` scenario;
+//! `bench --only ablation_split` runs the same code and additionally
+//! persists `BENCH_attack.json`.
 
-use polykey_attack::{AttackSession, SimOracle, SplitStrategy};
-use polykey_bench::{fmt_duration, HarnessArgs, TextTable};
-use polykey_circuits::Iscas85;
-use polykey_locking::{Key, LockScheme, Sarlock};
+use polykey_bench::{harness, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let kw = if args.full { 10 } else { 8 };
-    let seed = args.seed.unwrap_or(0x5EED);
-
-    // SARLock compares on inputs *after* the first few declared ones so
-    // that FirstInputs genuinely misses them.
-    let circuit = if args.quick { Iscas85::C880 } else { Iscas85::C7552 };
-    let original = circuit.build();
-    let key = Key::from_u64(seed & ((1 << kw) - 1), kw);
-    let locked = Sarlock::new(kw)
-        .with_compare_inputs((10..10 + kw).collect())
-        .lock(&original, &key)
-        .expect("lockable");
-
-    println!(
-        "Split-strategy ablation: SARLock(|K|={kw}) on {}, N = 3, comparator on inputs 10..{}",
-        circuit,
-        10 + kw
-    );
-    println!("baseline (N=0) needs ~2^{kw} DIPs\n");
-
-    let mut table = TextTable::new(vec!["strategy", "#DIP (max over terms)", "max term time"]);
-    for (name, strategy) in [
-        ("fan-out cone (paper)", SplitStrategy::FanoutCone),
-        ("first inputs", SplitStrategy::FirstInputs),
-        ("random", SplitStrategy::Random { seed }),
-    ] {
-        let mut oracle = SimOracle::new(&original).expect("oracle");
-        let report = AttackSession::builder()
-            .oracle(&mut oracle)
-            .split_effort(3)
-            .strategy(strategy)
-            .record_dips(false)
-            .build()
-            .expect("oracle provided")
-            .run(&locked.netlist)
-            .expect("attack runs");
-        assert!(report.is_complete());
-        let outcome = report.as_multi_key().expect("N > 0");
-        let max_dips = outcome.reports.iter().map(|r| r.dips).max().unwrap_or(0);
-        table.row(vec![
-            name.to_string(),
-            format!("{max_dips}"),
-            fmt_duration(report.stats().max_subtask_time()),
-        ]);
-        let picked: Vec<&str> =
-            report.split_inputs().iter().map(|&id| locked.netlist.node_name(id)).collect();
-        eprintln!("  {name}: split ports {picked:?}");
+    let result = harness::run_scenario("ablation_split", &args.ctx())
+        .expect("ablation_split is registered");
+    print!("{}", result.rendered);
+    if let Some(table) = &result.table {
+        args.maybe_write_csv(table);
     }
-    println!("{}", table.render());
-    println!("fan-out cone analysis finds the comparator inputs, so every");
-    println!("split level halves the remaining key space; naive choices");
-    println!("leave #DIP near the baseline 2^|K|.");
-    args.maybe_write_csv(&table);
 }

@@ -10,7 +10,7 @@
 //! Every refinement epoch of the batched SAT attack harvests up to `k`
 //! distinct DIPs (re-solving under output-tying relaxations that steer
 //! each re-solve toward fresh key space) and answers them in one
-//! [`Oracle::query_batch`] round — one bit-parallel simulation pass for a
+//! `Oracle::query_batch` round — one bit-parallel simulation pass for a
 //! `SimOracle`. Each cell reports `rounds/queries (speedup×)`:
 //! `queries` counts answered DIPs (identical work to the sequential
 //! attack's oracle cost) and `rounds` counts round-trips, so the ratio is
@@ -20,127 +20,16 @@
 //! correct keys). Every run is recombined (Fig. 1b) and formally checked
 //! against the original, whatever the width.
 //!
-//! [`Oracle::query_batch`]: polykey_attack::Oracle
+//! This bin runs the registered `batch` scenario; `bench --only batch`
+//! runs the same code and additionally persists `BENCH_attack.json`.
 
-use polykey_attack::{AttackSession, SimOracle};
-use polykey_bench::{fmt_duration, HarnessArgs, TextTable};
-use polykey_circuits::Iscas85;
-use polykey_encode::{check_equivalence, EquivResult};
-use polykey_locking::{AntiSat, LockScheme, LutLock, Rll, Sarlock};
-use rand::SeedableRng;
-
-const WIDTHS: [usize; 4] = [1, 8, 32, 64];
+use polykey_bench::{harness, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let seed = args.seed.unwrap_or(0xBA7C);
-    let circuits: Vec<Iscas85> = if args.quick {
-        vec![Iscas85::C432]
-    } else if args.full {
-        vec![Iscas85::C432, Iscas85::C880, Iscas85::C1908]
-    } else {
-        vec![Iscas85::C432, Iscas85::C880]
-    };
-
-    // SARLock is the interesting row: ~2^|K| DIPs, so batching collapses
-    // dozens of round-trips per attack. RLL/Anti-SAT/LUT converge in a
-    // handful of DIPs and bound the overhead side of the trade.
-    let schemes: Vec<Box<dyn LockScheme>> = vec![
-        Box::new(Rll::new(8).with_seed(seed)),
-        Box::new(Sarlock::new(6)),
-        Box::new(AntiSat::new(4)),
-        Box::new(LutLock::small().with_seed(seed)),
-    ];
-
-    println!(
-        "Batched-DIP sweep: {} schemes x batch widths {WIDTHS:?} x {} circuits",
-        schemes.len(),
-        circuits.len()
-    );
-    println!("cells: oracle rounds / oracle queries (speedup x)");
-    println!("key vs k=1 run: `=` bit-identical, `≡` functionally equivalent");
-    println!("every cell is recombined (Fig. 1b) and formally verified\n");
-
-    let mut header = vec!["circuit / scheme".to_string()];
-    for k in WIDTHS {
-        header.push(format!("k={k}"));
+    let result = harness::run_scenario("batch", &args.ctx()).expect("batch is registered");
+    print!("{}", result.rendered);
+    if let Some(table) = &result.table {
+        args.maybe_write_csv(table);
     }
-    let mut table = TextTable::new(header);
-    let mut best_speedup: (f64, String) = (1.0, String::new());
-
-    for circuit in &circuits {
-        let original = circuit.build();
-        for scheme in &schemes {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            let locked = match scheme.lock_random(&original, &mut rng) {
-                Ok(locked) => locked,
-                Err(e) => {
-                    eprintln!("{circuit}/{}: cannot lock ({e})", scheme.name());
-                    continue;
-                }
-            };
-            let mut row = vec![format!("{}/{}", circuit.name(), scheme.name())];
-            let mut sequential_key = None;
-            for k in WIDTHS {
-                let mut oracle = SimOracle::new(&original).expect("keyless oracle");
-                let report = AttackSession::builder()
-                    .oracle(&mut oracle)
-                    .dip_batch(k)
-                    .record_dips(false)
-                    .build()
-                    .expect("oracle provided")
-                    .run(&locked.netlist)
-                    .expect("attack runs");
-                assert!(
-                    report.is_complete(),
-                    "{}/{} k={k} must succeed",
-                    circuit.name(),
-                    scheme.name()
-                );
-                let stats = report.stats();
-                // Correctness first: the recombined design must be exactly
-                // the original function at every batch width.
-                let recombined = report.recombine(&locked.netlist).expect("recombine");
-                assert_eq!(
-                    check_equivalence(&original, &recombined).expect("equiv"),
-                    EquivResult::Equivalent,
-                    "{}/{} k={k} must recombine to the original",
-                    circuit.name(),
-                    scheme.name()
-                );
-                let key = report.key().expect("single-key run").clone();
-                let key_mark = match &sequential_key {
-                    None => {
-                        sequential_key = Some(key);
-                        String::new()
-                    }
-                    Some(reference) if *reference == key => " =".to_string(),
-                    Some(_) => " ≡".to_string(),
-                };
-                let speedup = stats.oracle_queries as f64 / stats.oracle_rounds.max(1) as f64;
-                if speedup > best_speedup.0 {
-                    best_speedup =
-                        (speedup, format!("{}/{} at k={k}", circuit.name(), scheme.name()));
-                }
-                row.push(format!(
-                    "{}/{} ({speedup:.1}x){key_mark} {}",
-                    stats.oracle_rounds,
-                    stats.oracle_queries,
-                    fmt_duration(stats.wall_time)
-                ));
-            }
-            table.row(row);
-            eprintln!("{}/{} done", circuit.name(), scheme.name());
-        }
-    }
-
-    println!("{}", table.render());
-    println!(
-        "best round amortization: {:.1}x fewer oracle round-trips ({})",
-        best_speedup.0, best_speedup.1
-    );
-    println!("queries (= #DIP) stay flat while rounds collapse: the oracle");
-    println!("cost of the attack is round-trips, and k=64 packs each round");
-    println!("into one 64-pattern simulator pass.");
-    args.maybe_write_csv(&table);
 }

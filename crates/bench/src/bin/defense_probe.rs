@@ -14,94 +14,19 @@
 //!
 //! The probe locks the same circuit both ways with the same key width and
 //! reports `#DIP` for N = 0..3.
+//!
+//! This bin runs the registered `defense_probe` scenario;
+//! `bench --only defense_probe` runs the same code and additionally
+//! persists `BENCH_attack.json`.
 
-use polykey_attack::{AttackSession, SimOracle, SplitStrategy};
-use polykey_bench::{fmt_duration, HarnessArgs, TextTable};
-use polykey_circuits::Iscas85;
-use polykey_locking::{lock_sarlock_on_signals, Key, LockScheme, Sarlock};
-use polykey_netlist::analysis::levels;
-use polykey_netlist::{Netlist, NodeId};
-
-/// Picks `n` deep internal nets, spread across the circuit.
-fn deep_signals(nl: &Netlist, n: usize) -> Vec<NodeId> {
-    let lv = levels(nl).expect("acyclic");
-    let out_cones: Vec<bool> = {
-        // Avoid nets inside any output's fanout cone (outputs are sinks in
-        // these benchmarks, so this only excludes the outputs themselves).
-        let mut mask = vec![false; nl.num_nodes()];
-        for &o in nl.outputs() {
-            mask[o.index()] = true;
-        }
-        mask
-    };
-    let mut candidates: Vec<NodeId> = nl
-        .node_ids()
-        .filter(|&id| {
-            !nl.node(id).kind().is_input() && !out_cones[id.index()] && lv[id.index()] >= 3
-        })
-        .collect();
-    // Deterministic spread: sort by level descending, then stride.
-    candidates.sort_by_key(|id| std::cmp::Reverse(lv[id.index()]));
-    let stride = (candidates.len() / n.max(1)).max(1);
-    candidates.into_iter().step_by(stride).take(n).collect()
-}
+use polykey_bench::{harness, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let kw = 6usize;
-    let circuit = if args.full { Iscas85::C7552 } else { Iscas85::C880 };
-    let original = circuit.build();
-    let key = Key::from_u64(args.seed.unwrap_or(0b101101) & ((1 << kw) - 1), kw);
-
-    println!("Defense probe: SARLock |K| = {kw} on {circuit}");
-    println!("attack = multi-key, fan-out-cone splitting, N = 0..3\n");
-
-    let input_locked = Sarlock::new(kw).lock(&original, &key).expect("lockable");
-    let signals = deep_signals(&original, kw);
-    let names: Vec<&str> = signals.iter().map(|&s| original.node_name(s)).collect();
-    println!("internal comparator nets: {names:?}\n");
-    let internal_locked =
-        lock_sarlock_on_signals(&original, &signals, &key, None).expect("lockable");
-
-    let mut table = TextTable::new(vec![
-        "variant",
-        "N=0 #DIP",
-        "N=1 #DIP",
-        "N=2 #DIP",
-        "N=3 #DIP",
-        "N=3 max time",
-    ]);
-    for (label, locked) in [
-        ("SARLock on inputs (paper)", &input_locked.netlist),
-        ("SARLock on internal nets (defense)", &internal_locked.netlist),
-    ] {
-        let mut row = vec![label.to_string()];
-        let mut last_time = String::new();
-        for n in 0..=3usize {
-            let mut oracle = SimOracle::new(&original).expect("oracle");
-            let report = AttackSession::builder()
-                .oracle(&mut oracle)
-                .split_effort(n)
-                .strategy(SplitStrategy::FanoutCone)
-                .record_dips(false)
-                .build()
-                .expect("oracle provided")
-                .run(locked)
-                .expect("runs");
-            assert!(report.is_complete(), "{label} N={n}");
-            let max_dips = match report.as_multi_key() {
-                Some(outcome) => outcome.reports.iter().map(|r| r.dips).max().unwrap_or(0),
-                None => report.stats().dips,
-            };
-            row.push(format!("{max_dips}"));
-            last_time = fmt_duration(report.stats().max_subtask_time());
-        }
-        row.push(last_time);
-        table.row(row);
+    let result = harness::run_scenario("defense_probe", &args.ctx())
+        .expect("defense_probe is registered");
+    print!("{}", result.rendered);
+    if let Some(table) = &result.table {
+        args.maybe_write_csv(table);
     }
-    println!("{}", table.render());
-    println!("input-comparator #DIP halves per split level; the internal-net");
-    println!("variant resists splitting because no small set of input ports");
-    println!("pins the comparator's observed value.");
-    args.maybe_write_csv(&table);
 }

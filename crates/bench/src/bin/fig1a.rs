@@ -8,79 +8,17 @@
 //! The paper's table shows a ✗ exactly where the applied key equals the
 //! input pattern and is not the correct key — one corrupted pattern per
 //! wrong key, none for the correct key.
+//!
+//! This bin runs the registered `fig1a` scenario; `bench --only fig1a`
+//! runs the same code and additionally persists `BENCH_encode.json`.
 
-use polykey_bench::TextTable;
-use polykey_locking::{Key, LockScheme, Sarlock};
-use polykey_netlist::{bits_of, GateKind, Netlist, Simulator};
-
-/// The running example: a 3-input majority gate (any 3-input function
-/// exhibits the same SARLock error profile).
-fn majority3() -> Netlist {
-    let mut nl = Netlist::new("maj3");
-    let a = nl.add_input("a").expect("fresh");
-    let b = nl.add_input("b").expect("fresh");
-    let c = nl.add_input("c").expect("fresh");
-    let ab = nl.add_gate("ab", GateKind::And, &[a, b]).expect("fresh");
-    let ac = nl.add_gate("ac", GateKind::And, &[a, c]).expect("fresh");
-    let bc = nl.add_gate("bc", GateKind::And, &[b, c]).expect("fresh");
-    let y = nl.add_gate("y", GateKind::Or, &[ab, ac, bc]).expect("fresh");
-    nl.mark_output(y).expect("distinct");
-    nl
-}
+use polykey_bench::{harness, HarnessArgs};
 
 fn main() {
-    // The paper reads bit strings MSB-first: "101" has MSB 1. Our Key is
-    // bit0-first, so build 101 (MSB-first) as bits [1,0,1] reversed.
-    let k_star_msb_first = [true, false, true];
-    let key = Key::new(k_star_msb_first.iter().rev().copied().collect());
-    let nl = majority3();
-    let locked = Sarlock::new(3).lock(&nl, &key).expect("valid lock");
-
-    let mut orig = Simulator::new(&nl).expect("acyclic");
-    let mut lsim = Simulator::new(&locked.netlist).expect("acyclic");
-
-    let mut header = vec!["Input \\ Key".to_string()];
-    for k in 0..8u64 {
-        header.push(format!("{k:03b}"));
+    let args = HarnessArgs::parse();
+    let result = harness::run_scenario("fig1a", &args.ctx()).expect("fig1a is registered");
+    print!("{}", result.rendered);
+    if let Some(table) = &result.table {
+        args.maybe_write_csv(table);
     }
-    let mut table = TextTable::new(header);
-    for i in 0..8u64 {
-        // Paper convention: the row label is MSB-first; our simulator takes
-        // bit0-first vectors, and the comparator compares input j with key
-        // bit j, so MSB-first labels match when both are reversed alike.
-        let ibits: Vec<bool> = (0..3).rev().map(|j| i >> j & 1 == 1).collect();
-        let want = orig.eval(&ibits, &[]);
-        let mut row = vec![format!("{i:03b}")];
-        for k in 0..8u64 {
-            let kbits: Vec<bool> = (0..3).rev().map(|j| k >> j & 1 == 1).collect();
-            let got = lsim.eval(&ibits, &kbits);
-            row.push(if got == want { "ok".to_string() } else { "X".to_string() });
-        }
-        table.row(row);
-    }
-
-    println!("Fig. 1(a): SARLock error distribution, |I| = |K| = 3, k* = 101");
-    println!("(X marks input/key pairs where the locked circuit errs)");
-    println!();
-    println!("{}", table.render());
-    println!("Reading: every wrong key k errs exactly at input i = k; the");
-    println!("correct key column (101) and the row i = k* are error-free,");
-    println!("so each SAT-attack DIP can eliminate only one wrong key.");
-
-    // Sanity assertions so the binary doubles as an executable check.
-    let mut errors = 0usize;
-    for i in 0..8u64 {
-        let ibits = bits_of(i, 3);
-        let want = orig.eval(&ibits, &[]);
-        for k in 0..8u64 {
-            let kbits = bits_of(k, 3);
-            if lsim.eval(&ibits, &kbits) != want {
-                errors += 1;
-                assert_eq!(i, k, "errors only on the diagonal");
-            }
-        }
-    }
-    assert_eq!(errors, 7, "exactly one error per wrong key");
-    println!();
-    println!("check: 7 wrong keys x 1 corrupted pattern each = {errors} errors  [ok]");
 }

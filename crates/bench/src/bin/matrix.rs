@@ -11,105 +11,17 @@
 //! Every cell reports `#DIP (max over terms) / max term time`; each attack
 //! result is recombined (Fig. 1b) and formally checked against the
 //! original, so the table doubles as an executable correctness matrix.
+//!
+//! This bin runs the registered `matrix` scenario; `bench --only matrix`
+//! runs the same code and additionally persists `BENCH_attack.json`.
 
-use std::time::Duration;
-
-use polykey_attack::{AttackSession, SimOracle};
-use polykey_bench::{fmt_duration, HarnessArgs, TextTable};
-use polykey_circuits::Iscas85;
-use polykey_encode::{check_equivalence, EquivResult};
-use polykey_locking::{AntiSat, LockScheme, LutLock, Rll, Sarlock};
-use rand::SeedableRng;
+use polykey_bench::{harness, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let seed = args.seed.unwrap_or(0xD1CE);
-    let circuits: Vec<Iscas85> = if args.quick {
-        vec![Iscas85::C432]
-    } else if args.full {
-        vec![Iscas85::C432, Iscas85::C880, Iscas85::C1908]
-    } else {
-        vec![Iscas85::C432, Iscas85::C880]
-    };
-    let max_effort = if args.full { 3 } else { 2 };
-    let time_cap = Duration::from_secs(args.time_cap.unwrap_or(300));
-
-    // The whole point of `LockScheme`: the sweep does not know or care
-    // which scheme it is locking with.
-    let schemes: Vec<Box<dyn LockScheme>> = vec![
-        Box::new(Rll::new(8).with_seed(seed)),
-        Box::new(Sarlock::new(6)),
-        Box::new(AntiSat::new(4)),
-        Box::new(LutLock::small().with_seed(seed)),
-    ];
-
-    println!(
-        "Attack matrix: {} schemes x N = 0..={max_effort} x {} circuits (cap {} per attack)",
-        schemes.len(),
-        circuits.len(),
-        fmt_duration(time_cap)
-    );
-    println!(
-        "cells: #DIP (max over terms) / max term time; * = formally verified recombination\n"
-    );
-
-    let mut header = vec!["circuit / scheme".to_string()];
-    for n in 0..=max_effort {
-        header.push(format!("N={n}"));
+    let result = harness::run_scenario("matrix", &args.ctx()).expect("matrix is registered");
+    print!("{}", result.rendered);
+    if let Some(table) = &result.table {
+        args.maybe_write_csv(table);
     }
-    let mut table = TextTable::new(header);
-
-    for circuit in &circuits {
-        let original = circuit.build();
-        for scheme in &schemes {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            let locked = match scheme.lock_random(&original, &mut rng) {
-                Ok(locked) => locked,
-                Err(e) => {
-                    eprintln!("{circuit}/{}: cannot lock ({e})", scheme.name());
-                    continue;
-                }
-            };
-            let mut row = vec![format!("{}/{}", circuit.name(), scheme.name())];
-            for n in 0..=max_effort {
-                let mut oracle = SimOracle::new(&original).expect("keyless oracle");
-                let report = AttackSession::builder()
-                    .oracle(&mut oracle)
-                    .split_effort(n)
-                    .record_dips(false)
-                    .time_budget(time_cap)
-                    .build()
-                    .expect("oracle provided")
-                    .run(&locked.netlist)
-                    .expect("attack runs");
-                if !report.is_complete() {
-                    row.push(format!("{:?}", report.status()));
-                    continue;
-                }
-                let max_dips = match report.as_multi_key() {
-                    Some(outcome) => outcome.reports.iter().map(|r| r.dips).max().unwrap_or(0),
-                    None => report.stats().dips,
-                };
-                // The executable correctness check: recombined sub-keys
-                // restore the original function, for every scheme.
-                let recombined = report.recombine(&locked.netlist).expect("recombine");
-                let verified = check_equivalence(&original, &recombined).expect("equiv")
-                    == EquivResult::Equivalent;
-                assert!(verified, "{}/{} N={n} must recombine", circuit.name(), scheme.name());
-                row.push(format!(
-                    "{max_dips} / {}{}",
-                    fmt_duration(report.stats().max_subtask_time()),
-                    if verified { " *" } else { "" }
-                ));
-            }
-            table.row(row);
-            eprintln!("{}/{} done", circuit.name(), scheme.name());
-        }
-    }
-
-    println!("{}", table.render());
-    println!("SARLock #DIP halves per splitting level; RLL and Anti-SAT are");
-    println!("cheap everywhere; LUT cost sits in the miter size, which the");
-    println!("cofactored terms shrink. One harness, every scheme.");
-    args.maybe_write_csv(&table);
 }

@@ -5,81 +5,17 @@
 //! ```text
 //! cargo run --release -p polykey-bench --bin probe -- --seed 2
 //! ```
+//!
+//! This bin runs the registered `probe` scenario; `bench --only probe`
+//! runs the same code and additionally persists `BENCH_attack.json`.
 
-use std::time::Duration;
-
-use polykey_attack::{AttackSession, SimOracle, SplitStrategy};
-use polykey_bench::{fmt_duration, HarnessArgs};
-use polykey_circuits::Iscas85;
-use polykey_locking::{LockScheme, LutLock};
-use rand::SeedableRng;
+use polykey_bench::{harness, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let seed = args.seed.unwrap_or(0x7AB1E2);
-    let cap = Duration::from_secs(args.time_cap.unwrap_or(180));
-    let circuit = if args.full { Iscas85::C6288 } else { Iscas85::C880 };
-    let original = circuit.build();
-
-    for (label, scheme) in [
-        ("8+8+8=24 keys", LutLock::new(vec![3, 3], 1)),
-        ("16+16+16=48 keys", LutLock::new(vec![4, 4], 2)),
-        ("32+32+16=80 keys", LutLock::new(vec![5, 5], 2)),
-    ] {
-        let scheme = scheme.with_seed(seed);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let locked = match scheme.lock_random(&original, &mut rng) {
-            Ok(l) => l,
-            Err(e) => {
-                println!("{label}: cannot lock ({e})");
-                continue;
-            }
-        };
-        let mut oracle = SimOracle::new(&original).expect("oracle");
-        let baseline = AttackSession::builder()
-            .oracle(&mut oracle)
-            .record_dips(false)
-            .time_budget(cap)
-            .build()
-            .expect("oracle provided")
-            .run(&locked.netlist)
-            .expect("runs");
-        let stats = baseline.stats();
-        println!(
-            "{} on {}: baseline {} ({} DIPs, {:?}, {} conflicts)",
-            label,
-            circuit,
-            fmt_duration(stats.wall_time),
-            stats.dips,
-            baseline.status(),
-            stats.solver_conflicts
-        );
-        for simplify in [true, false] {
-            let mut oracle = SimOracle::new(&original).expect("oracle");
-            let report = AttackSession::builder()
-                .oracle(&mut oracle)
-                .split_effort(4)
-                .strategy(SplitStrategy::FanoutCone)
-                .simplify(simplify)
-                .record_dips(false)
-                .time_budget(cap)
-                .build()
-                .expect("oracle provided")
-                .run(&locked.netlist)
-                .expect("runs");
-            let outcome = report.as_multi_key().expect("N > 0");
-            let max_dips = outcome.reports.iter().map(|r| r.dips).max().unwrap_or(0);
-            let gates: Vec<usize> = outcome.reports.iter().map(|r| r.gates_after).collect();
-            println!(
-                "  N=4 simplify={simplify}: min {} mean {} max {} (max {} DIPs, gates {}..{}, complete={})",
-                fmt_duration(outcome.min_task_time()),
-                fmt_duration(outcome.mean_task_time()),
-                fmt_duration(outcome.max_task_time()),
-                max_dips,
-                gates.iter().min().unwrap(),
-                gates.iter().max().unwrap(),
-                report.is_complete(),
-            );
-        }
+    let result = harness::run_scenario("probe", &args.ctx()).expect("probe is registered");
+    print!("{}", result.rendered);
+    if let Some(table) = &result.table {
+        args.maybe_write_csv(table);
     }
 }

@@ -11,83 +11,17 @@
 //! ports (chosen by fan-out-cone analysis) land exactly on the SARLock
 //! comparator inputs. All parallel terms report the same `#DIP` (± 1 from
 //! termination accounting; see EXPERIMENTS.md).
+//!
+//! This bin runs the registered `table1` scenario; `bench --only table1`
+//! runs the same code and additionally persists `BENCH_attack.json`.
 
-use std::time::Instant;
-
-use polykey_attack::{AttackSession, SimOracle, SplitStrategy};
-use polykey_bench::{fmt_duration, HarnessArgs, TextTable};
-use polykey_circuits::Iscas85;
-use polykey_locking::{Key, LockScheme, Sarlock};
+use polykey_bench::{harness, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let key_sizes: Vec<usize> = if args.quick { vec![4, 8] } else { vec![4, 8, 12] };
-    let seed = args.seed.unwrap_or(0xDAC24);
-
-    println!("Table 1: #DIP for SARLock-locked c7552 (stand-in netlist)");
-    println!("splitting ports chosen by fan-out cone analysis; N = 0 is the baseline\n");
-
-    let c7552 = Iscas85::C7552.build();
-    let mut table = TextTable::new(vec![
-        "|K|".to_string(),
-        "N=0 (baseline)".to_string(),
-        "N=1".to_string(),
-        "N=2".to_string(),
-        "N=3".to_string(),
-        "N=4".to_string(),
-    ]);
-    let mut spread_note = Vec::new();
-
-    for &kw in &key_sizes {
-        // A fixed correct key derived from the seed keeps runs reproducible.
-        let key = Key::from_u64(seed & ((1 << kw) - 1), kw);
-        let locked = Sarlock::new(kw).lock(&c7552, &key).expect("c7552 has enough inputs");
-        let mut row = vec![format!("{kw}")];
-        for n in 0..=4usize {
-            let started = Instant::now();
-            let mut oracle = SimOracle::new(&c7552).expect("keyless oracle");
-            let report = AttackSession::builder()
-                .oracle(&mut oracle)
-                .split_effort(n)
-                .strategy(SplitStrategy::FanoutCone)
-                .build()
-                .expect("oracle provided")
-                .run(&locked.netlist)
-                .expect("attack runs");
-            assert!(report.is_complete(), "|K|={kw} N={n} must succeed");
-            let (max_dips, min_dips, terms) = match report.as_multi_key() {
-                Some(outcome) => (
-                    outcome.reports.iter().map(|r| r.dips).max().unwrap_or(0),
-                    outcome.reports.iter().map(|r| r.dips).min().unwrap_or(0),
-                    outcome.reports.len(),
-                ),
-                None => (report.stats().dips, report.stats().dips, 1),
-            };
-            if max_dips != min_dips {
-                spread_note.push(format!(
-                    "|K|={kw} N={n}: per-term #DIP ranges {min_dips}..{max_dips}"
-                ));
-            }
-            row.push(format!("{max_dips}"));
-            eprintln!(
-                "  |K|={kw} N={n}: #DIP(max)={max_dips} across {terms} terms in {}",
-                fmt_duration(started.elapsed()),
-            );
-        }
-        table.row(row);
+    let result = harness::run_scenario("table1", &args.ctx()).expect("table1 is registered");
+    print!("{}", result.rendered);
+    if let Some(table) = &result.table {
+        args.maybe_write_csv(table);
     }
-
-    println!("{}", table.render());
-    println!("(cells report the maximum #DIP over the 2^N parallel terms;");
-    println!(" the paper reports the same quantity and observes identical");
-    println!(" #DIP across terms)");
-    if spread_note.is_empty() {
-        println!("\nall parallel terms reported identical #DIP  [matches paper]");
-    } else {
-        println!("\nper-term #DIP spreads:");
-        for s in spread_note {
-            println!("  {s}");
-        }
-    }
-    args.maybe_write_csv(&table);
 }

@@ -15,132 +15,17 @@
 //!
 //! Absolute numbers differ from the paper (different hardware, solver and
 //! stand-in netlists); EXPERIMENTS.md compares the shapes.
+//!
+//! This bin runs the registered `table2` scenario; `bench --only table2`
+//! runs the same code and additionally persists `BENCH_attack.json`.
 
-use std::time::Duration;
-
-use polykey_attack::{AttackSession, AttackStatus, SimOracle, SplitStrategy};
-use polykey_bench::{fmt_duration, HarnessArgs, TextTable};
-use polykey_circuits::Iscas85;
-use polykey_locking::{LockScheme, LutLock};
-use rand::SeedableRng;
+use polykey_bench::{harness, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let base_scheme = if args.full { LutLock::paper() } else { LutLock::small() };
-    let circuits: Vec<Iscas85> = if args.quick {
-        vec![Iscas85::C880, Iscas85::C1355, Iscas85::C1908, Iscas85::C6288]
-    } else {
-        Iscas85::table2_set().to_vec()
-    };
-    let time_cap = Duration::from_secs(args.time_cap.unwrap_or(600));
-    let seed = args.seed.unwrap_or(0x7AB1E2);
-    let scheme = base_scheme.with_seed(seed);
-
-    println!(
-        "Table 2: runtime of attacking LUT-based insertion ({} key bits, {} tapped nets)",
-        scheme.key_bits(),
-        scheme.module_inputs()
-    );
-    println!("baseline = plain SAT attack; this work = 16 parallel terms at N = 4");
-    println!("per-attack time cap: {} (cells show >cap when hit)\n", fmt_duration(time_cap));
-
-    let mut table = TextTable::new(vec![
-        "Circuit",
-        "Baseline",
-        "Minimum",
-        "Mean",
-        "Maximum",
-        "Maximum/Baseline",
-    ]);
-
-    for bench in circuits {
-        let original = bench.build();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let locked = scheme.lock_random(&original, &mut rng).expect("lockable");
-        eprintln!(
-            "{}: locked with {} key bits ({} gates -> {})",
-            bench,
-            locked.key.len(),
-            original.num_gates(),
-            locked.netlist.num_gates()
-        );
-
-        // Baseline: the conventional SAT attack on the whole circuit, in
-        // the textbook formulation (full circuit copies per DIP) that the
-        // paper's tooling uses; dropping `.textbook(true)` would measure
-        // the optimized folded engine instead.
-        let mut oracle = SimOracle::new(&original).expect("keyless oracle");
-        let baseline = AttackSession::builder()
-            .oracle(&mut oracle)
-            .textbook(true)
-            .time_budget(time_cap)
-            .record_dips(false)
-            .build()
-            .expect("oracle provided")
-            .run(&locked.netlist)
-            .expect("attack runs");
-        let baseline_capped = baseline.status() == AttackStatus::TimeLimit;
-        let baseline_time = baseline.stats().wall_time;
-        eprintln!(
-            "  baseline: {} ({} DIPs, status {:?})",
-            fmt_duration(baseline_time),
-            baseline.stats().dips,
-            baseline.status()
-        );
-
-        // This work: N = 4, 16 parallel terms.
-        let mut oracle = SimOracle::new(&original).expect("keyless oracle");
-        let report = AttackSession::builder()
-            .oracle(&mut oracle)
-            .split_effort(4)
-            .strategy(SplitStrategy::FanoutCone)
-            .textbook(true)
-            .time_budget(time_cap)
-            .record_dips(false)
-            .build()
-            .expect("oracle provided")
-            .run(&locked.netlist)
-            .expect("attack runs");
-        let outcome = report.as_multi_key().expect("N > 0");
-        let any_capped = outcome.reports.iter().any(|r| r.status == AttackStatus::TimeLimit);
-        let min = outcome.min_task_time();
-        let mean = outcome.mean_task_time();
-        let max = outcome.max_task_time();
-        let max_term_dips = outcome.reports.iter().map(|r| r.dips).max().unwrap_or(0);
-        let min_gates = outcome.reports.iter().map(|r| r.gates_after).min().unwrap_or(0);
-        eprintln!(
-            "  this work: min {} mean {} max {} over {} terms (max {} DIPs, term gates >= {}){}",
-            fmt_duration(min),
-            fmt_duration(mean),
-            fmt_duration(max),
-            outcome.reports.len(),
-            max_term_dips,
-            min_gates,
-            if any_capped { " (some terms hit the cap)" } else { "" }
-        );
-
-        let ratio = max.as_secs_f64() / baseline_time.as_secs_f64().max(1e-9);
-        let fmt_capped = |d: Duration, capped: bool| {
-            if capped {
-                format!(">{}", fmt_duration(d))
-            } else {
-                fmt_duration(d)
-            }
-        };
-        table.row(vec![
-            bench.name().to_string(),
-            fmt_capped(baseline_time, baseline_capped),
-            fmt_duration(min),
-            fmt_duration(mean),
-            fmt_capped(max, any_capped),
-            format!(
-                "{ratio:.3}{}",
-                if baseline_capped { " (lower bound on speedup)" } else { "" }
-            ),
-        ]);
+    let result = harness::run_scenario("table2", &args.ctx()).expect("table2 is registered");
+    print!("{}", result.rendered);
+    if let Some(table) = &result.table {
+        args.maybe_write_csv(table);
     }
-
-    println!("\n{}", table.render());
-    println!("break-even for single-core execution of 16 terms: ratio 1/16 = 0.0625");
-    args.maybe_write_csv(&table);
 }

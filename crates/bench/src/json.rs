@@ -1,0 +1,591 @@
+//! A small, dependency-free JSON emitter and parser.
+//!
+//! The workspace must build fully offline, so the benchmark telemetry
+//! (`BENCH_*.json`, committed baselines) cannot pull in `serde`. This
+//! module implements the subset of JSON the harness needs — which is all
+//! of JSON, minus any notion of deserializing into user types: documents
+//! are built and inspected as [`Json`] trees.
+//!
+//! Guarantees:
+//!
+//! - emission is escaping-correct: `"`, `\`, and every control character
+//!   below `U+0020` round-trip through [`Json::render`] → [`Json::parse`];
+//! - parsing accepts arbitrary valid JSON, including `\uXXXX` escapes and
+//!   UTF-16 surrogate pairs;
+//! - numbers are emitted as integers whenever they are integral (so
+//!   counters never gain a spurious `.0`) and via Rust's shortest
+//!   round-trip float formatting otherwise. Non-finite numbers (which JSON
+//!   cannot represent) are emitted as `null`.
+//!
+//! # Examples
+//!
+//! ```
+//! use polykey_bench::json::Json;
+//!
+//! let doc = Json::Object(vec![
+//!     ("name".into(), Json::String("c432/\"rll\"".into())),
+//!     ("wall_ms".into(), Json::Number(12.5)),
+//! ]);
+//! let text = doc.render();
+//! assert_eq!(Json::parse(&text).unwrap(), doc);
+//! ```
+
+use std::fmt::Write as _;
+
+/// A JSON value: the full data model, held as a tree.
+///
+/// Objects preserve insertion order (they are association lists, not
+/// maps), so emitted documents are stable and diff-friendly.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`, like JavaScript).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, as an ordered list of `(key, value)` pairs.
+    Object(Vec<(String, Json)>),
+}
+
+/// Where and why parsing failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input at which the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Looks up a key in an object (`None` for non-objects and missing
+    /// keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as pretty-printed JSON (two-space indent,
+    /// trailing newline) — the format of `BENCH_*.json` and the committed
+    /// baselines, chosen to keep diffs reviewable.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write_indented(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Renders the value as compact single-line JSON.
+    #[must_use]
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Number(n) => write_number(out, *n),
+            Json::String(s) => write_string(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_indented(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    indent(out, depth + 1);
+                    item.write_indented(out, depth + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Object(pairs) if !pairs.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    indent(out, depth + 1);
+                    write_string(out, k);
+                    out.push_str(": ");
+                    v.write_indented(out, depth + 1);
+                    if i + 1 < pairs.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                indent(out, depth);
+                out.push('}');
+            }
+            // Empty containers and scalars print compactly.
+            other => other.write_compact(out),
+        }
+    }
+
+    /// Parses a complete JSON document (leading/trailing whitespace
+    /// allowed, nothing else after the value).
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] with the byte offset of the first offending input.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Emits a number: integral values as integers, the rest via Rust's
+/// shortest-round-trip float `Display`; non-finite values become `null`.
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+/// Emits a string literal with full escaping: quote, backslash, and every
+/// control character below `U+0020`.
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError { offset: self.pos, message: message.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("expected a JSON value")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.err("expected digits in number"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.err("expected digits after `.`"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.err("expected digits in exponent"));
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number spans are ASCII");
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|_| JsonError { offset: start, message: "malformed number".into() })
+    }
+
+    fn hex4(&mut self) -> Result<u16, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("non-ASCII in \\u escape"))?;
+        let code = u16::from_str_radix(text, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // A high surrogate must be followed by
+                                // `\uXXXX` with a low surrogate.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000
+                                    + ((u32::from(hi) - 0xD800) << 10)
+                                    + (u32::from(lo) - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("lone low surrogate"));
+                            } else {
+                                char::from_u32(u32::from(hi))
+                                    .ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("raw control character in string"));
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar; the input is a &str so the
+                    // encoding is already valid.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Json) {
+        assert_eq!(Json::parse(&v.render()).unwrap(), *v);
+        assert_eq!(Json::parse(&v.render_compact()).unwrap(), *v);
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        for v in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Bool(false),
+            Json::Number(0.0),
+            Json::Number(-17.0),
+            Json::Number(3.25),
+            Json::Number(1e-9),
+            Json::String(String::new()),
+            Json::String("plain".into()),
+        ] {
+            roundtrip(&v);
+        }
+    }
+
+    #[test]
+    fn integral_numbers_emit_without_fraction() {
+        assert_eq!(Json::Number(42.0).render_compact(), "42");
+        assert_eq!(Json::Number(-3.0).render_compact(), "-3");
+        assert_eq!(Json::Number(2.5).render_compact(), "2.5");
+    }
+
+    #[test]
+    fn non_finite_numbers_emit_null() {
+        assert_eq!(Json::Number(f64::NAN).render_compact(), "null");
+        assert_eq!(Json::Number(f64::INFINITY).render_compact(), "null");
+    }
+
+    #[test]
+    fn hostile_strings_roundtrip() {
+        for s in [
+            "quote\" backslash\\ slash/",
+            "newline\n tab\t return\r",
+            "control \u{01}\u{1f} backspace\u{08} formfeed\u{0c}",
+            "unicode \u{263a} beyond bmp \u{1f600}",
+        ] {
+            roundtrip(&Json::String(s.to_string()));
+        }
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let doc = Json::Object(vec![
+            ("empty_arr".into(), Json::Array(vec![])),
+            ("empty_obj".into(), Json::Object(vec![])),
+            (
+                "nested".into(),
+                Json::Array(vec![
+                    Json::Null,
+                    Json::Object(vec![("k\"ey".into(), Json::Number(1.5))]),
+                ]),
+            ),
+        ]);
+        roundtrip(&doc);
+    }
+
+    #[test]
+    fn parses_foreign_escapes_and_whitespace() {
+        let v = Json::parse(" { \"a\" : [ 1 , \"\\u0041\\u00e9\\ud83d\\ude00\" ] } ").unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[1].as_str().unwrap(), "Aé\u{1f600}");
+    }
+
+    #[test]
+    fn object_lookup_and_accessors() {
+        let v = Json::parse("{\"n\": 2e3, \"s\": \"x\", \"b\": false}").unwrap();
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(2000.0));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("b"), Some(&Json::Bool(false)));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        for (input, offset) in
+            [("", 0), ("{", 1), ("[1,]", 3), ("\"\\x\"", 2), ("nul", 0), ("1 2", 2)]
+        {
+            let err = Json::parse(input).unwrap_err();
+            assert_eq!(err.offset, offset, "input {input:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_lone_surrogates() {
+        assert!(Json::parse("\"\\ud800\"").is_err());
+        assert!(Json::parse("\"\\udc00\"").is_err());
+        assert!(Json::parse("\"\\ud800\\u0041\"").is_err());
+    }
+}

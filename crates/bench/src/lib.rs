@@ -14,12 +14,23 @@
 //! | `cargo run --release -p polykey-bench --bin ablation_split` | split-port heuristic ablation (§4) |
 //! | `cargo run --release -p polykey-bench --bin ablation_simplify` | Alg. 1 line 4 re-synthesis ablation |
 //! | `cargo run --release -p polykey-bench --bin defense_probe` | the conclusion's defense direction |
+//! | `cargo run --release -p polykey-bench --bin bench` | **the unified harness**: any subset of the above, plus `BENCH_*.json` telemetry and `--compare` regression gating |
 //!
-//! This library hosts the small shared harness: plain-text table rendering,
-//! duration formatting, and argument parsing.
+//! Every binary above is a registered [`harness::Scenario`]; the
+//! standalone bins are thin wrappers that run exactly one scenario and
+//! print its rendering. The `bench` bin is the telemetry/CI entry point —
+//! see the [`harness`] module docs for the JSON schema and the baseline
+//! workflow.
+//!
+//! This library hosts the harness itself plus the small shared utilities:
+//! plain-text table rendering, duration formatting, argument parsing, and
+//! an offline JSON emitter/parser ([`json`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod harness;
+pub mod json;
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -163,6 +174,18 @@ impl HarnessArgs {
             }
         }
         args
+    }
+
+    /// The scenario-facing subset of these flags, for
+    /// [`harness::run_scenario`].
+    #[must_use]
+    pub fn ctx(&self) -> harness::ScenarioCtx {
+        harness::ScenarioCtx {
+            quick: self.quick,
+            full: self.full,
+            time_cap: self.time_cap,
+            seed: self.seed,
+        }
     }
 
     /// Writes the table as CSV if `--csv` was given.

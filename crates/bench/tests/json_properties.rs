@@ -1,0 +1,136 @@
+//! Property tests for the offline JSON emitter/parser and the telemetry
+//! document round-trip: arbitrary scenario results must survive
+//! emit → parse unchanged, whatever hostile characters their labels carry.
+
+use proptest::prelude::*;
+
+use polykey_bench::harness::{document, parse_document, Record};
+use polykey_bench::json::Json;
+
+/// Strings biased toward the characters that break naive emitters:
+/// quotes, backslashes, control characters, and non-ASCII.
+fn arb_hostile_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..24).prop_map(|bytes| {
+        bytes
+            .into_iter()
+            .map(|b| match b % 12 {
+                0 => '"',
+                1 => '\\',
+                2 => '\n',
+                3 => '\t',
+                4 => '\r',
+                5 => '\u{08}',
+                6 => '\u{0c}',
+                7 => char::from(b % 0x20), // other raw control chars
+                8 => '\u{263a}',
+                9 => '\u{1f600}',
+                _ => char::from(b'a' + (b % 26)),
+            })
+            .collect()
+    })
+}
+
+/// Finite metric values across the magnitudes the harness emits
+/// (sub-millisecond timings to large counters), positive and negative.
+fn arb_metric_value() -> impl Strategy<Value = f64> {
+    (any::<u32>(), any::<u16>()).prop_map(|(mantissa, micro)| {
+        (f64::from(mantissa) - f64::from(u32::MAX / 2)) + f64::from(micro) / 65536.0
+    })
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (
+        arb_hostile_string(),
+        proptest::collection::vec((arb_hostile_string(), arb_hostile_string()), 0..4),
+        proptest::collection::vec((arb_hostile_string(), arb_metric_value()), 0..6),
+    )
+        .prop_map(|(scenario, labels, metrics)| {
+            let mut record = Record::new(&scenario);
+            for (k, v) in labels {
+                record = record.label(&k, v);
+            }
+            for (k, v) in metrics {
+                record = record.metric(&k, v);
+            }
+            record
+        })
+}
+
+/// Builds a scalar leaf from a selector byte and raw material.
+fn scalar(sel: u8, num: f64, s: &str) -> Json {
+    match sel % 5 {
+        0 => Json::Null,
+        1 => Json::Bool(sel & 0x80 != 0),
+        2 | 3 => Json::Number(num),
+        _ => Json::String(s.to_string()),
+    }
+}
+
+/// An arbitrary JSON tree (depth-bounded by construction: scalar leaves,
+/// up to two container levels above).
+fn arb_json() -> impl Strategy<Value = Json> {
+    (
+        any::<u8>(),
+        arb_metric_value(),
+        arb_hostile_string(),
+        proptest::collection::vec(
+            (arb_hostile_string(), any::<u8>(), arb_metric_value(), arb_hostile_string()),
+            0..5,
+        ),
+    )
+        .prop_map(|(shape, num, s, items)| {
+            let leaves: Vec<(String, Json)> =
+                items.iter().map(|(k, sel, n, v)| (k.clone(), scalar(*sel, *n, v))).collect();
+            let array = Json::Array(leaves.iter().map(|(_, v)| v.clone()).collect());
+            let object = Json::Object(leaves);
+            match shape % 4 {
+                0 => scalar(shape / 4, num, &s),
+                1 => array,
+                2 => object,
+                // Nested: an object holding both container kinds.
+                _ => Json::Object(vec![(s, array), ("obj".to_string(), object)]),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Emit → parse is the identity on arbitrary JSON trees, in both the
+    /// pretty and the compact rendering.
+    #[test]
+    fn json_roundtrips(value in arb_json()) {
+        prop_assert_eq!(&Json::parse(&value.render()).unwrap(), &value);
+        prop_assert_eq!(&Json::parse(&value.render_compact()).unwrap(), &value);
+    }
+
+    /// Hostile strings — quotes, backslashes, control characters — are
+    /// escaped correctly: they round-trip and never produce raw control
+    /// bytes or unescaped quotes in the emitted text.
+    #[test]
+    fn strings_escape_correctly(s in arb_hostile_string()) {
+        let value = Json::String(s.clone());
+        let text = value.render_compact();
+        prop_assert!(!text.bytes().any(|b| b < 0x20), "raw control byte in {text:?}");
+        let inner = &text[1..text.len() - 1];
+        // Any `"` inside the literal must be preceded by an odd run of
+        // backslashes (i.e. be escaped).
+        let bytes = inner.as_bytes();
+        for (i, &b) in bytes.iter().enumerate() {
+            if b == b'"' {
+                let run = bytes[..i].iter().rev().take_while(|&&c| c == b'\\').count();
+                prop_assert!(run % 2 == 1, "unescaped quote in {text:?}");
+            }
+        }
+        prop_assert_eq!(Json::parse(&text).unwrap(), value);
+    }
+
+    /// Telemetry documents round-trip arbitrary scenario records through
+    /// the `polykey-bench/v1` schema.
+    #[test]
+    fn documents_roundtrip_records(records in proptest::collection::vec(arb_record(), 0..8)) {
+        let text = document("all", "quick", &records).render();
+        let parsed = parse_document(&text).unwrap();
+        prop_assert_eq!(parsed, records);
+    }
+}

@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 
 use polykey_locking::Key;
 use polykey_netlist::{cofactor, cofactor_simplify, Netlist, NodeId};
+use polykey_sat::SolverStats;
 
 use crate::error::AttackError;
 use crate::oracle::{Oracle, SimOracle};
@@ -167,8 +168,13 @@ pub struct SubTaskReport {
     /// Oracle round-trips made by this term (a batch of DIPs answered by
     /// one [`Oracle::query_batch`] call counts once).
     pub oracle_rounds: u64,
-    /// Solver conflicts in this term's SAT attack.
-    pub solver_conflicts: u64,
+    /// DIP-refinement epochs of this term's SAT attack (see
+    /// [`crate::SatAttackStats::epochs`]).
+    pub epochs: u64,
+    /// Full CDCL solver counters for this term's SAT attack (conflicts,
+    /// restarts, learnt clauses, …), so every benchmark cell is
+    /// self-describing.
+    pub solver: SolverStats,
     /// Wall-clock time of this term (its own timer; terms overlap when
     /// parallel).
     pub wall_time: Duration,
@@ -324,7 +330,8 @@ pub(crate) fn run_multi_key(
             dips: outcome.stats.dips,
             oracle_queries: outcome.stats.oracle_queries,
             oracle_rounds: outcome.stats.oracle_rounds,
-            solver_conflicts: outcome.stats.solver.conflicts,
+            epochs: outcome.stats.epochs,
+            solver: outcome.stats.solver,
             wall_time: term_start.elapsed(),
             gates_before: locked.num_gates(),
             gates_after: restricted.num_gates(),

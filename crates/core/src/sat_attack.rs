@@ -136,6 +136,11 @@ pub struct SatAttackStats {
     /// when `dip_batch <= 1`; the gap between the two is exactly what
     /// batching saves.
     pub oracle_rounds: u64,
+    /// DIP-refinement epochs: satisfiable outer miter solves, each of which
+    /// harvested one batch of DIPs. Equals `oracle_rounds` under the
+    /// current one-round-per-epoch engine; kept separate so the telemetry
+    /// stays truthful if the pipelines ever diverge.
+    pub epochs: u64,
     /// Total wall-clock time.
     pub wall_time: Duration,
     /// Final solver counters (cumulative over all iterations).
@@ -288,11 +293,13 @@ pub(crate) fn run_sat_attack(
 
     let mut dips: u64 = 0;
     let mut oracle_rounds: u64 = 0;
+    let mut epochs: u64 = 0;
     let mut dip_patterns: Vec<Vec<bool>> = Vec::new();
     let finish = |status: AttackStatus,
                   key: Option<Key>,
                   dips: u64,
                   oracle_rounds: u64,
+                  epochs: u64,
                   dip_patterns: Vec<Vec<bool>>,
                   solver: &Solver,
                   oracle: &dyn Oracle| SatAttackOutcome {
@@ -303,6 +310,7 @@ pub(crate) fn run_sat_attack(
             dips,
             oracle_queries: oracle.queries() - queries_at_start,
             oracle_rounds,
+            epochs,
             wall_time: start.elapsed(),
             solver: *solver.stats(),
             cnf_vars: solver.num_vars(),
@@ -323,6 +331,7 @@ pub(crate) fn run_sat_attack(
                 None,
                 dips,
                 oracle_rounds,
+                epochs,
                 dip_patterns,
                 &solver,
                 oracle,
@@ -337,6 +346,7 @@ pub(crate) fn run_sat_attack(
                     None,
                     dips,
                     oracle_rounds,
+                    epochs,
                     dip_patterns,
                     &solver,
                     oracle,
@@ -351,12 +361,14 @@ pub(crate) fn run_sat_attack(
                     None,
                     dips,
                     oracle_rounds,
+                    epochs,
                     dip_patterns,
                     &solver,
                     oracle,
                 ));
             }
             SolveResult::Sat => {
+                epochs += 1;
                 // Harvest up to `dip_batch` distinct DIPs before paying the
                 // oracle round-trip. After each harvested DIP the two
                 // constraint copies are encoded immediately and their
@@ -461,6 +473,7 @@ pub(crate) fn run_sat_attack(
                             None,
                             dips,
                             oracle_rounds,
+                            epochs,
                             dip_patterns,
                             &solver,
                             oracle,
@@ -477,6 +490,7 @@ pub(crate) fn run_sat_attack(
                         None,
                         dips,
                         oracle_rounds,
+                        epochs,
                         dip_patterns,
                         &solver,
                         oracle,
@@ -490,6 +504,7 @@ pub(crate) fn run_sat_attack(
                             None,
                             dips,
                             oracle_rounds,
+                            epochs,
                             dip_patterns,
                             &solver,
                             oracle,
@@ -511,6 +526,7 @@ pub(crate) fn run_sat_attack(
                             Some(key),
                             dips,
                             oracle_rounds,
+                            epochs,
                             dip_patterns,
                             &solver,
                             oracle,
@@ -521,6 +537,7 @@ pub(crate) fn run_sat_attack(
                         None,
                         dips,
                         oracle_rounds,
+                        epochs,
                         dip_patterns,
                         &solver,
                         oracle,
@@ -530,6 +547,7 @@ pub(crate) fn run_sat_attack(
                         None,
                         dips,
                         oracle_rounds,
+                        epochs,
                         dip_patterns,
                         &solver,
                         oracle,

@@ -52,7 +52,7 @@ use std::time::{Duration, Instant};
 
 use polykey_locking::Key;
 use polykey_netlist::{Netlist, NodeId};
-use polykey_sat::SolverConfig;
+use polykey_sat::{SolverConfig, SolverStats};
 
 use crate::error::AttackError;
 use crate::multikey::{
@@ -141,8 +141,12 @@ pub struct AttackStats {
     /// answered per round, so this drops well below `oracle_queries`; the
     /// two are equal for the classic one-DIP-per-round loop.
     pub oracle_rounds: u64,
-    /// Solver conflicts, summed over all sub-attacks.
-    pub solver_conflicts: u64,
+    /// DIP-refinement epochs, summed over all sub-attacks (see
+    /// [`crate::SatAttackStats::epochs`]).
+    pub epochs: u64,
+    /// Full CDCL solver counters (conflicts, restarts, learnt clauses, …),
+    /// summed field-wise over all sub-attacks.
+    pub solver: SolverStats,
     /// End-to-end wall-clock time of the session run.
     pub wall_time: Duration,
     /// Per-subtask wall times, in pattern order (one entry for the plain
@@ -238,7 +242,8 @@ impl AttackReport {
                 dips: outcome.stats.dips,
                 oracle_queries: outcome.stats.oracle_queries,
                 oracle_rounds: outcome.stats.oracle_rounds,
-                solver_conflicts: outcome.stats.solver.conflicts,
+                epochs: outcome.stats.epochs,
+                solver: outcome.stats.solver,
                 wall_time: outcome.stats.wall_time,
                 subtask_wall_times: vec![outcome.stats.wall_time],
             },
@@ -246,7 +251,8 @@ impl AttackReport {
                 dips: outcome.reports.iter().map(|r| r.dips).sum(),
                 oracle_queries: outcome.reports.iter().map(|r| r.oracle_queries).sum(),
                 oracle_rounds: outcome.reports.iter().map(|r| r.oracle_rounds).sum(),
-                solver_conflicts: outcome.reports.iter().map(|r| r.solver_conflicts).sum(),
+                epochs: outcome.reports.iter().map(|r| r.epochs).sum(),
+                solver: outcome.reports.iter().map(|r| r.solver).sum(),
                 wall_time: outcome.wall_time,
                 subtask_wall_times: outcome.reports.iter().map(|r| r.wall_time).collect(),
             },

@@ -55,6 +55,34 @@ pub struct SolverStats {
     pub solves: u64,
 }
 
+/// Field-wise accumulation, so callers can merge the per-solver snapshots
+/// of many independent attacks (e.g. the `2^N` terms of the multi-key
+/// attack) into one aggregate without naming every counter.
+impl std::ops::AddAssign for SolverStats {
+    fn add_assign(&mut self, rhs: SolverStats) {
+        self.decisions += rhs.decisions;
+        self.conflicts += rhs.conflicts;
+        self.propagations += rhs.propagations;
+        self.restarts += rhs.restarts;
+        self.learnt_clauses += rhs.learnt_clauses;
+        self.deleted_clauses += rhs.deleted_clauses;
+        self.minimized_lits += rhs.minimized_lits;
+        self.solves += rhs.solves;
+    }
+}
+
+/// Field-wise sum over an iterator of snapshots (see [`SolverStats`]'s
+/// `AddAssign`).
+impl std::iter::Sum for SolverStats {
+    fn sum<I: Iterator<Item = SolverStats>>(iter: I) -> SolverStats {
+        let mut total = SolverStats::default();
+        for s in iter {
+            total += s;
+        }
+        total
+    }
+}
+
 /// Tunable search parameters. The defaults mirror MiniSat 2.2.
 #[derive(Copy, Clone, Debug)]
 pub struct SolverConfig {
