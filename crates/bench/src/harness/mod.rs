@@ -212,7 +212,8 @@ impl Scenario {
 }
 
 /// The full scenario registry: every evaluation binary of this crate,
-/// plus the CNF-encoding scenario that only exists through the harness.
+/// plus the harness-only scenarios (`adaptive`, `encode`) that have no
+/// standalone bin.
 #[must_use]
 pub fn registry() -> &'static [Scenario] {
     &[
@@ -231,6 +232,14 @@ pub fn registry() -> &'static [Scenario] {
             quick: true,
             summary: "batched-DIP sweep: oracle rounds vs queries at widths 1/8/32/64",
             run: scenarios::batch,
+        },
+        Scenario {
+            name: "adaptive",
+            group: Group::Attack,
+            tags: &["sweep", "adaptive"],
+            quick: true,
+            summary: "adaptive budget-driven term tree vs static N on SARLock",
+            run: scenarios::adaptive,
         },
         Scenario {
             name: "table1",
@@ -416,6 +425,8 @@ const COST_COUNTERS: &[&str] = &[
     "learnt_clauses",
     "cnf_vars",
     "cnf_clauses",
+    "resplits",
+    "leaves",
 ];
 
 /// True iff `name` is a cost metric (lower is better): a `*_ms` timing or
@@ -556,9 +567,16 @@ impl CompareReport {
         use std::fmt::Write as _;
         let mut out = String::new();
         for r in &self.regressions {
+            // The growth ratio is reported only when the baseline supports
+            // one: a zero baseline would print `inf`/`NaN` noise.
+            let ratio = if r.baseline > 0.0 {
+                format!(" ({:.2}x)", r.current / r.baseline)
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 out,
-                "REGRESSION {} {}: {:.2} -> {:.2} (limit {:.2})",
+                "REGRESSION {} {}: {:.2} -> {:.2} (limit {:.2}){ratio}",
                 r.cell, r.metric, r.baseline, r.current, r.limit
             );
         }
@@ -638,6 +656,12 @@ pub fn compare(
                     continue;
                 }
                 base_value * config.time_ratio
+            } else if *base_value == 0.0 {
+                // A legitimately-zero baseline counter (e.g. `restarts: 0`)
+                // has no meaningful ratio: fall back to absolute slack only,
+                // so the cell can neither divide-by-zero in ratio reporting
+                // nor auto-fail the moment the counter becomes nonzero.
+                config.count_slack
             } else {
                 base_value * config.count_ratio + config.count_slack
             };
@@ -738,6 +762,51 @@ mod tests {
         let report = compare(&baseline, &bad, &CompareConfig::default());
         assert_eq!(report.regressions.len(), 1);
         assert_eq!(report.regressions[0].metric, "dips");
+    }
+
+    #[test]
+    fn zero_baseline_counters_gate_on_absolute_slack_only() {
+        // A legitimately-zero baseline cell (`restarts: 0`) must neither
+        // divide-by-zero nor auto-fail: growth inside the absolute slack
+        // passes, growth beyond it still regresses with a finite limit.
+        let mut baseline = vec![cell("matrix", "c432", 120.0, 7.0)];
+        baseline[0].metrics.push(("restarts".into(), 0.0));
+        let mut within = vec![cell("matrix", "c432", 120.0, 7.0)];
+        within[0].metrics.push(("restarts".into(), 10.0));
+        assert!(compare(&baseline, &within, &CompareConfig::default()).is_pass());
+
+        let mut beyond = vec![cell("matrix", "c432", 120.0, 7.0)];
+        beyond[0].metrics.push(("restarts".into(), 40.0));
+        let report = compare(&baseline, &beyond, &CompareConfig::default());
+        assert_eq!(report.regressions.len(), 1);
+        let r = &report.regressions[0];
+        assert_eq!(r.metric, "restarts");
+        assert!(r.limit.is_finite());
+        assert_eq!(r.limit, CompareConfig::default().count_slack);
+        let rendered = report.render();
+        assert!(
+            !rendered.contains("inf") && !rendered.contains("NaN"),
+            "render must stay finite: {rendered}"
+        );
+    }
+
+    #[test]
+    fn zero_baseline_timings_are_never_gated() {
+        // A 0 ms baseline timing sits under the noise floor by definition;
+        // no ratio is ever computed against it.
+        let mut baseline = vec![cell("matrix", "c432", 120.0, 7.0)];
+        baseline[0].metrics.push(("extra_ms".into(), 0.0));
+        let mut current = vec![cell("matrix", "c432", 120.0, 7.0)];
+        current[0].metrics.push(("extra_ms".into(), 20.0));
+        assert!(compare(&baseline, &current, &CompareConfig::default()).is_pass());
+    }
+
+    #[test]
+    fn regression_render_includes_growth_ratio_when_defined() {
+        let baseline = vec![cell("matrix", "c432", 120.0, 7.0)];
+        let current = vec![cell("matrix", "c432", 1200.0, 7.0)];
+        let report = compare(&baseline, &current, &CompareConfig::default());
+        assert!(report.render().contains("(10.00x)"), "{}", report.render());
     }
 
     #[test]

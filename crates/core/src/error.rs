@@ -22,6 +22,16 @@ pub enum AttackError {
         /// Primary inputs available.
         available: usize,
     },
+    /// The requested splitting depth exceeds what the engine's 64-bit
+    /// sub-space patterns can represent. `1u64 << n` would silently wrap
+    /// (release) or panic (debug) past this point, so the engine rejects
+    /// the configuration up front — see `polykey_attack::MAX_SPLIT_WIDTH`.
+    SplitTooDeep {
+        /// Requested depth (splitting effort or resplit cap).
+        requested: usize,
+        /// The deepest representable split width.
+        max: usize,
+    },
     /// Recombination received an inconsistent key set.
     BadKeySet {
         /// What was wrong.
@@ -50,6 +60,13 @@ impl std::fmt::Display for AttackError {
             }
             AttackError::SplitTooWide { requested, available } => {
                 write!(f, "splitting effort {requested} exceeds {available} primary inputs")
+            }
+            AttackError::SplitTooDeep { requested, max } => {
+                write!(
+                    f,
+                    "splitting depth {requested} exceeds the engine's maximum of {max} \
+                     (sub-space patterns are 64-bit prefix paths)"
+                )
             }
             AttackError::BadKeySet { message } => write!(f, "bad key set: {message}"),
             AttackError::SessionConfig { message } => {
@@ -109,6 +126,8 @@ mod tests {
         assert!(e.to_string().contains("5 inputs"));
         let e = AttackError::SplitTooWide { requested: 10, available: 3 };
         assert!(e.to_string().contains("10"));
+        let e = AttackError::SplitTooDeep { requested: 64, max: 63 };
+        assert!(e.to_string().contains("64") && e.to_string().contains("63"));
         let e: AttackError = NetlistError::UnknownSignal("x".into()).into();
         assert!(e.to_string().contains("x"));
     }

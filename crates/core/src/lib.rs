@@ -12,7 +12,13 @@
 //!   threads, time budget, cancellation, and progress once; `run()`
 //!   returns an [`AttackReport`] with uniform [`AttackStats`] whether the
 //!   classic one-key SAT attack (`split_effort = 0`) or Algorithm 1's
-//!   `2^N` parallel sub-attacks ran.
+//!   `2^N` parallel sub-attacks ran. With a per-term budget
+//!   (`AttackSessionBuilder::term_dip_budget` /
+//!   `AttackSessionBuilder::term_time_budget`) the engine splits
+//!   **adaptively**: hard terms are subdivided one port at a time into a
+//!   prefix *tree* of `(pattern, width)` sub-spaces, so easy regions
+//!   finish shallow while the hard ones (the SARLock pattern term) get
+//!   exactly as much splitting as they need.
 //! - [`AttackReport::recombine`] — Fig. 1(b): a MUX tree over the split
 //!   ports turns the sub-space keys into a keyless netlist equivalent to
 //!   the original design.
@@ -83,7 +89,7 @@ mod verify;
 
 pub use approx::{appsat_attack, AppSatConfig, AppSatOutcome};
 pub use error::AttackError;
-pub use multikey::{MultiKeyConfig, MultiKeyOutcome, SubKey, SubTaskReport};
+pub use multikey::{MultiKeyConfig, MultiKeyOutcome, SubKey, SubTaskReport, MAX_SPLIT_WIDTH};
 pub use oracle::{Oracle, RestrictedOracle, SimOracle};
 pub use recombine::recombine_multikey;
 pub use sat_attack::{AttackStatus, SatAttackConfig, SatAttackOutcome, SatAttackStats};

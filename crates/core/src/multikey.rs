@@ -1,19 +1,38 @@
-//! The multi-key attack — Algorithm 1 of the paper.
+//! The multi-key attack — Algorithm 1 of the paper, generalized from a
+//! flat `2^N` grid to an adaptive term *tree*.
 //!
 //! Instead of hunting for the single correct key, the attack splits the
-//! input space on `N` chosen ports into `2^N` sub-spaces, cofactors and
-//! re-synthesizes the locked netlist for each assignment `b`, and runs an
-//! independent SAT attack per term. Each term returns a key that unlocks
-//! its sub-space (possibly globally *incorrect*); collectively — recombined
-//! with a MUX tree, see [`crate::recombine_multikey`] — the keys restore
-//! the full design function.
+//! input space on chosen ports, cofactors and re-synthesizes the locked
+//! netlist for each assignment, and runs an independent SAT attack per
+//! term. Each term returns a key that unlocks its sub-space (possibly
+//! globally *incorrect*); collectively — recombined with a MUX tree, see
+//! [`crate::recombine_multikey`] — the keys restore the full design
+//! function.
 //!
-//! The terms are embarrassingly parallel; with `parallel` enabled they run
-//! on `std::thread::scope` threads, matching the paper's 16-core setup at
-//! `N = 4`.
+//! The paper fixes the splitting effort `N` up front, but term hardness is
+//! wildly uneven in practice: the SARLock term containing the protected
+//! pattern dominates wall-clock while its siblings converge in a handful
+//! of DIPs. With a per-term budget configured
+//! ([`MultiKeyConfig::term_dip_budget`] /
+//! [`MultiKeyConfig::term_time_budget`]) the engine therefore runs
+//! *adaptively*: a term that exhausts its budget without converging is
+//! split one port deeper — re-ranking the remaining inputs on the term's
+//! own cofactored netlist — and its two children go back onto the work
+//! queue. Easy sub-spaces finish at shallow depth; hard ones are
+//! subdivided until they yield (or hit [`MultiKeyConfig::max_split_depth`]).
+//! Terms are identified by `(pattern, width)` prefix-tree paths rather
+//! than flat grid indices.
+//!
+//! The terms are embarrassingly parallel; a bounded pool of workers pulls
+//! them — including freshly split children — from a shared queue. A term
+//! whose worker panics (e.g. a crashing oracle) is reported as
+//! [`AttackStatus::Failed`] instead of poisoning its siblings or tearing
+//! down the session.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use polykey_locking::Key;
@@ -21,88 +40,29 @@ use polykey_netlist::{cofactor, cofactor_simplify, Netlist, NodeId};
 use polykey_sat::SolverStats;
 
 use crate::error::AttackError;
-use crate::oracle::{Oracle, SimOracle};
-use crate::sat_attack::{
-    run_sat_attack, AttackStatus, RunCtl, SatAttackConfig, SatAttackOutcome,
-};
+use crate::oracle::{SharedOracle, SimOracle, TermOracle};
+use crate::sat_attack::{run_sat_attack, AttackStatus, RunCtl, SatAttackConfig};
 use crate::session::ProgressEvent;
-use crate::split::{select_split_inputs, SplitStrategy};
+use crate::split::{next_split_position, select_split_inputs, SplitStrategy};
 
-/// An oracle shared by concurrent sub-attacks: queries are serialized
-/// behind a mutex, so any `Send` oracle — simulated, restricted, or a
-/// custom hardware harness — serves all `2^N` terms.
-pub(crate) struct SharedOracle<'o> {
-    inner: Mutex<&'o mut (dyn Oracle + Send)>,
-    num_inputs: usize,
-    num_outputs: usize,
-}
-
-impl<'o> SharedOracle<'o> {
-    pub(crate) fn new(oracle: &'o mut (dyn Oracle + Send)) -> SharedOracle<'o> {
-        let num_inputs = oracle.num_inputs();
-        let num_outputs = oracle.num_outputs();
-        SharedOracle { inner: Mutex::new(oracle), num_inputs, num_outputs }
-    }
-
-    pub(crate) fn num_inputs(&self) -> usize {
-        self.num_inputs
-    }
-
-    pub(crate) fn num_outputs(&self) -> usize {
-        self.num_outputs
-    }
-}
-
-/// One term's view of the shared oracle: split bits are forced to the
-/// term's pattern before each query, and queries are counted locally so
-/// per-term accounting survives the sharing.
-struct TermOracle<'a, 'o> {
-    shared: &'a SharedOracle<'o>,
-    forced: Vec<(usize, bool)>,
-    queries: u64,
-}
-
-impl Oracle for TermOracle<'_, '_> {
-    fn num_inputs(&self) -> usize {
-        self.shared.num_inputs()
-    }
-
-    fn num_outputs(&self) -> usize {
-        self.shared.num_outputs()
-    }
-
-    fn query(&mut self, input: &[bool]) -> Vec<bool> {
-        let forced_input = crate::oracle::apply_forced(input, &self.forced);
-        self.queries += 1;
-        self.shared.inner.lock().expect("oracle lock poisoned").query(&forced_input)
-    }
-
-    fn query_batch(&mut self, inputs: &[Vec<bool>]) -> Vec<Vec<bool>> {
-        let forced_inputs: Vec<Vec<bool>> = inputs
-            .iter()
-            .map(|input| crate::oracle::apply_forced(input, &self.forced))
-            .collect();
-        self.queries += inputs.len() as u64;
-        // One lock acquisition serves the whole batch, so concurrent terms
-        // amortize contention on the shared oracle along with the
-        // round-trip itself.
-        self.shared.inner.lock().expect("oracle lock poisoned").query_batch(&forced_inputs)
-    }
-
-    fn queries(&self) -> u64 {
-        self.queries
-    }
-}
+/// The deepest split the engine supports: sub-space patterns are `u64`
+/// prefix paths, so any effort or resplit beyond 63 pinned ports would
+/// overflow `1u64 << n` (silently in release, with a panic in debug).
+/// Requests past this limit are rejected with
+/// [`AttackError::SplitTooDeep`].
+pub const MAX_SPLIT_WIDTH: usize = 63;
 
 /// Worker-pool and instrumentation knobs for [`run_multi_key`], supplied
 /// by the [`crate::AttackSession`].
 #[derive(Default)]
 pub(crate) struct EngineOpts<'e> {
-    /// Worker threads for the `2^N` terms; `None` = one thread per term.
+    /// Worker threads for the term pool; `None` = one thread per *root*
+    /// term (or the machine's parallelism in adaptive mode, whichever is
+    /// larger).
     pub threads: Option<usize>,
     /// Deadline + cancellation shared across all terms.
     pub ctl: RunCtl<'e>,
-    /// Progress events (term started/finished, per-term DIPs).
+    /// Progress events (term started/split/finished, per-term DIPs).
     pub progress: Option<&'e (dyn Fn(&ProgressEvent) + Sync)>,
 }
 
@@ -110,18 +70,30 @@ pub(crate) struct EngineOpts<'e> {
 #[derive(Clone, Debug)]
 #[must_use]
 pub struct MultiKeyConfig {
-    /// The splitting effort `N`: the input space is divided into `2^N`
-    /// terms. `N = 0` degenerates to the plain SAT attack.
+    /// The splitting effort `N`: the attack starts from `2^N` root terms.
+    /// `N = 0` degenerates to the plain SAT attack (unless a per-term
+    /// budget makes the engine split adaptively).
     pub split_effort: usize,
-    /// How the `N` ports are chosen.
+    /// How splitting ports are chosen — for the root grid and for every
+    /// adaptive resplit.
     pub strategy: SplitStrategy,
     /// Re-synthesize each cofactored netlist (Algorithm 1 line 4). Turning
     /// this off is the `ablation_simplify` experiment.
     pub simplify: bool,
-    /// Run the `2^N` terms on parallel threads.
+    /// Run the terms on parallel threads.
     pub parallel: bool,
     /// Configuration for each per-term SAT attack.
     pub sat: SatAttackConfig,
+    /// Per-term DIP budget: a term that spends this many DIPs without
+    /// converging is split one port deeper and re-attacked as two
+    /// children. `None` (the default) keeps the paper's static grid.
+    pub term_dip_budget: Option<u64>,
+    /// Per-term wall-clock budget with the same resplit semantics.
+    pub term_time_budget: Option<Duration>,
+    /// Deepest adaptive split depth. `None` = as deep as the input count
+    /// and [`MAX_SPLIT_WIDTH`] allow. Terms that exhaust their budget *at*
+    /// the cap keep attacking under the ordinary limits instead.
+    pub max_split_depth: Option<usize>,
 }
 
 impl Default for MultiKeyConfig {
@@ -132,6 +104,9 @@ impl Default for MultiKeyConfig {
             simplify: true,
             parallel: true,
             sat: SatAttackConfig::new(),
+            term_dip_budget: None,
+            term_time_budget: None,
+            max_split_depth: None,
         }
     }
 }
@@ -144,21 +119,38 @@ impl MultiKeyConfig {
     }
 }
 
-/// One sub-space key: the term's split-bit assignment and the key that
-/// unlocks the locked circuit on that sub-space.
+/// One sub-space key, identified by its prefix-tree path: the first
+/// `width` split ports are pinned to the corresponding bits of `pattern`.
+///
+/// In a static run every key has `width == N`; adaptive runs mix widths —
+/// a hard term subdivided twice yields keys two levels deeper than its
+/// easy siblings.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SubKey {
-    /// The term: bit `j` is the value pinned on split port `j`.
+    /// The term's path: bit `j` is the value pinned on split port `j`,
+    /// for `j < width`. Bits at and above `width` are zero.
     pub pattern: u64,
+    /// How many split ports this term pins (its depth in the term tree).
+    pub width: u8,
     /// A key correct on the sub-space (possibly incorrect elsewhere).
     pub key: Key,
+}
+
+impl SubKey {
+    /// The value this term pins on split port `j` (`j < width`).
+    #[must_use]
+    pub fn split_bit(&self, j: usize) -> bool {
+        self.pattern >> j & 1 == 1
+    }
 }
 
 /// Per-term accounting.
 #[derive(Clone, Debug)]
 pub struct SubTaskReport {
-    /// The term's split-bit assignment.
+    /// The term's prefix-tree path (see [`SubKey::pattern`]).
     pub pattern: u64,
+    /// How many split ports this term pins (its depth in the term tree).
+    pub width: u8,
     /// How this term's SAT attack ended.
     pub status: AttackStatus,
     /// `#DIP` for this term.
@@ -166,7 +158,7 @@ pub struct SubTaskReport {
     /// Oracle queries issued by this term (one per answered DIP).
     pub oracle_queries: u64,
     /// Oracle round-trips made by this term (a batch of DIPs answered by
-    /// one [`Oracle::query_batch`] call counts once).
+    /// one [`crate::Oracle::query_batch`] call counts once).
     pub oracle_rounds: u64,
     /// DIP-refinement epochs of this term's SAT attack (see
     /// [`crate::SatAttackStats::epochs`]).
@@ -180,49 +172,71 @@ pub struct SubTaskReport {
     pub wall_time: Duration,
     /// Gates in the locked netlist before cofactoring.
     pub gates_before: usize,
-    /// Gates in the netlist this term actually attacked.
+    /// Gates in the netlist this term actually attacked (0 if the term's
+    /// worker panicked before cofactoring finished).
     pub gates_after: usize,
 }
 
 /// The result of a multi-key attack.
 #[derive(Clone, Debug)]
 pub struct MultiKeyOutcome {
-    /// The recovered sub-space keys (one per *successful* term), sorted by
-    /// pattern.
+    /// The recovered sub-space keys (one per *successful* leaf term),
+    /// shallowest first, then by pattern.
     pub keys: Vec<SubKey>,
-    /// Accounting for every term, sorted by pattern.
+    /// Accounting for every leaf term of the final tree, shallowest first,
+    /// then by pattern.
     pub reports: Vec<SubTaskReport>,
-    /// The chosen splitting ports (ids in the locked netlist), in pattern
-    /// bit order.
+    /// Accounting for interior terms: runs that exhausted their budget and
+    /// were subdivided ([`AttackStatus::BudgetExhausted`]). Their work
+    /// counters are real attack cost and are included in
+    /// [`crate::AttackStats`] totals; empty in static runs.
+    pub resplit_reports: Vec<SubTaskReport>,
+    /// The splitting ports (ids in the locked netlist) in pattern bit
+    /// order. Adaptive resplits extend this list past the root `N`; a
+    /// term of width `w` pins the first `w` entries.
     pub split_inputs: Vec<NodeId>,
     /// End-to-end wall-clock time of the whole attack.
     pub wall_time: Duration,
 }
 
 impl MultiKeyOutcome {
-    /// True iff every term succeeded.
+    /// True iff every leaf term succeeded.
     pub fn is_complete(&self) -> bool {
         self.reports.iter().all(|r| r.status == AttackStatus::Success)
     }
 
-    /// The maximum per-term wall time — the attack latency on a machine
-    /// with ≥ `2^N` cores (the paper's headline metric).
+    /// The deepest term width in the final tree (the root `N` for static
+    /// runs).
+    #[must_use]
+    pub fn max_depth(&self) -> usize {
+        self.reports.iter().map(|r| r.width as usize).max().unwrap_or(0)
+    }
+
+    /// The maximum per-term wall time over every term that ran (leaves
+    /// and resplit interior terms) — the attack latency on a machine with
+    /// enough cores (the paper's headline metric).
     pub fn max_task_time(&self) -> Duration {
-        self.reports.iter().map(|r| r.wall_time).max().unwrap_or_default()
+        self.all_reports().map(|r| r.wall_time).max().unwrap_or_default()
     }
 
     /// Minimum per-term wall time.
     pub fn min_task_time(&self) -> Duration {
-        self.reports.iter().map(|r| r.wall_time).min().unwrap_or_default()
+        self.all_reports().map(|r| r.wall_time).min().unwrap_or_default()
     }
 
     /// Mean per-term wall time.
     pub fn mean_task_time(&self) -> Duration {
-        if self.reports.is_empty() {
+        let count = self.reports.len() + self.resplit_reports.len();
+        if count == 0 {
             return Duration::ZERO;
         }
-        let total: Duration = self.reports.iter().map(|r| r.wall_time).sum();
-        total / self.reports.len() as u32
+        let total: Duration = self.all_reports().map(|r| r.wall_time).sum();
+        total / count as u32
+    }
+
+    /// Every term that ran: leaves, then resplit interior terms.
+    pub(crate) fn all_reports(&self) -> impl Iterator<Item = &SubTaskReport> {
+        self.reports.iter().chain(self.resplit_reports.iter())
     }
 }
 
@@ -233,6 +247,8 @@ impl MultiKeyOutcome {
 ///
 /// - [`AttackError::SplitTooWide`] if `split_effort` exceeds the input
 ///   count.
+/// - [`AttackError::SplitTooDeep`] if `split_effort` exceeds
+///   [`MAX_SPLIT_WIDTH`].
 /// - [`AttackError::OracleMismatch`] if `original` and `locked` disagree on
 ///   interface arity.
 /// - Structural errors from cofactoring or encoding.
@@ -254,6 +270,47 @@ pub fn multi_key_attack(
     run_multi_key(locked, &shared, config, &opts)
 }
 
+/// One node of the term tree awaiting an attack.
+#[derive(Copy, Clone, Debug)]
+struct TermPath {
+    pattern: u64,
+    width: u8,
+}
+
+/// What attacking one term produced.
+enum TermOutput {
+    /// The term is a leaf of the final tree (succeeded, failed, or gave up
+    /// at a limit).
+    Leaf(SubTaskReport, Option<SubKey>),
+    /// The term exhausted its budget and was subdivided into two children.
+    Split(SubTaskReport, [TermPath; 2]),
+}
+
+/// Shared scheduler state: the work queue plus everything the workers
+/// produce. A single mutex keeps completion bookkeeping atomic with queue
+/// updates, which is what makes the "queue empty and nothing in flight"
+/// exit condition race-free.
+struct SchedState {
+    queue: VecDeque<TermPath>,
+    in_flight: usize,
+    results: Vec<(SubTaskReport, Option<SubKey>)>,
+    resplits: Vec<SubTaskReport>,
+    error: Option<AttackError>,
+}
+
+struct Scheduler {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+impl Scheduler {
+    fn lock(&self) -> MutexGuard<'_, SchedState> {
+        // A worker panic between lock and unlock would poison the state;
+        // the bookkeeping is plain data, so recover rather than cascade.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 /// Algorithm 1 over an arbitrary shared oracle — the engine behind both
 /// [`multi_key_attack`] and [`crate::AttackSession`].
 pub(crate) fn run_multi_key(
@@ -269,127 +326,337 @@ pub(crate) fn run_multi_key(
             oracle: oracle.num_inputs(),
         });
     }
-    let start = Instant::now();
     let n = config.split_effort;
-    let split_inputs = select_split_inputs(locked, n, config.strategy)?;
-    // Positions of the split ports in the input list (for oracle forcing
-    // and DIP pinning).
-    let positions: Vec<usize> = split_inputs
-        .iter()
-        .map(|id| {
-            locked
-                .inputs()
-                .iter()
-                .position(|p| p == id)
-                .expect("split ports come from the input list")
-        })
-        .collect();
+    // Guard every `1u64 << width` in the engine: splitting deeper than 63
+    // ports cannot be represented in the u64 prefix paths.
+    if n > MAX_SPLIT_WIDTH {
+        return Err(AttackError::SplitTooDeep { requested: n, max: MAX_SPLIT_WIDTH });
+    }
+    if let Some(depth) = config.max_split_depth {
+        if depth > MAX_SPLIT_WIDTH {
+            return Err(AttackError::SplitTooDeep { requested: depth, max: MAX_SPLIT_WIDTH });
+        }
+    }
+    let max_depth = config
+        .max_split_depth
+        .unwrap_or(usize::MAX)
+        .min(locked.inputs().len())
+        .min(MAX_SPLIT_WIDTH)
+        .max(n);
+    let adaptive = config.term_dip_budget.is_some() || config.term_time_budget.is_some();
+    let start = Instant::now();
 
-    let terms: Vec<u64> = (0..(1u64 << n)).collect();
-    let num_terms = terms.len();
-    let run_term = |pattern: u64| -> Result<(SubTaskReport, Option<SubKey>), AttackError> {
+    // The global split-port order: index `j` is the port every term of
+    // width > j pins with pattern bit `j`. Adaptive resplits extend it —
+    // the first term to need depth `j + 1` ranks the remaining inputs on
+    // its own cofactored netlist and appends the winner; siblings reuse it.
+    let split_order: Mutex<Vec<NodeId>> =
+        Mutex::new(select_split_inputs(locked, n, config.strategy)?);
+    let order_positions = |order: &[NodeId]| -> Vec<usize> {
+        order
+            .iter()
+            .map(|id| {
+                locked
+                    .inputs()
+                    .iter()
+                    .position(|p| p == id)
+                    .expect("split ports come from the input list")
+            })
+            .collect()
+    };
+
+    let num_root_terms = 1usize << n;
+    // Total terms ever enqueued, for progress reporting.
+    let spawned = AtomicUsize::new(num_root_terms);
+
+    // Extends the split order to cover depth `width + 1`, choosing the new
+    // port by re-ranking the subdividing term's cofactored netlist. The
+    // O(inputs × netlist) ranking runs *outside* the lock — other workers
+    // only need the mutex for a cheap prefix copy at term start, and must
+    // not stall behind cone analysis. First writer wins; a racing sibling
+    // discards its ranking.
+    let extend_split_order = |restricted: &Netlist, width: usize| -> Result<(), AttackError> {
+        let used = {
+            let order = split_order.lock().unwrap_or_else(PoisonError::into_inner);
+            if order.len() > width {
+                return Ok(()); // a sibling already chose this depth's port
+            }
+            order_positions(&order)
+        };
+        let next = next_split_position(restricted, &used, config.strategy)?;
+        let mut order = split_order.lock().unwrap_or_else(PoisonError::into_inner);
+        if order.len() > width {
+            return Ok(()); // a sibling won the race while we ranked
+        }
+        match next {
+            Some(pos) => {
+                order.push(locked.inputs()[pos]);
+                Ok(())
+            }
+            // Unreachable while `max_depth <= inputs`, but keep the error
+            // honest rather than panicking.
+            None => Err(AttackError::SplitTooWide {
+                requested: width + 1,
+                available: locked.inputs().len(),
+            }),
+        }
+    };
+
+    let run_term = |path: TermPath| -> Result<TermOutput, AttackError> {
         let term_start = Instant::now();
-        let pins: Vec<(NodeId, bool)> = split_inputs
-            .iter()
-            .enumerate()
-            .map(|(j, &id)| (id, pattern >> j & 1 == 1))
-            .collect();
-        let restricted = if config.simplify {
-            cofactor_simplify(locked, &pins)?.0
-        } else {
-            cofactor(locked, &pins)?
-        };
-        if let Some(progress) = opts.progress {
-            progress(&ProgressEvent::TermStarted {
-                pattern,
-                terms: num_terms,
-                gates: restricted.num_gates(),
+        let width = path.width as usize;
+        let pattern = path.pattern;
+        // Served-query count lives *outside* the panic boundary, so a term
+        // whose oracle crashes mid-run still reports the queries it spent.
+        let term_queries = AtomicU64::new(0);
+        // The panic boundary covers the whole term — cofactoring, the SAT
+        // attack, resplit selection, *and* every progress callback — so a
+        // crashing oracle or a panicking user callback fails this term,
+        // not the session (and cannot strand the scheduler's in-flight
+        // accounting). The shared-oracle mutex recovers from the resulting
+        // poison (see `SharedOracle::lock`); the term's local state is
+        // simply discarded.
+        let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<TermOutput, AttackError> {
+            let ports: Vec<NodeId> = {
+                let order = split_order.lock().unwrap_or_else(PoisonError::into_inner);
+                order[..width].to_vec()
+            };
+            let pins: Vec<(NodeId, bool)> =
+                ports.iter().enumerate().map(|(j, &id)| (id, pattern >> j & 1 == 1)).collect();
+            let restricted = if config.simplify {
+                cofactor_simplify(locked, &pins)?.0
+            } else {
+                cofactor(locked, &pins)?
+            };
+            if let Some(progress) = opts.progress {
+                progress(&ProgressEvent::TermStarted {
+                    pattern,
+                    width: path.width,
+                    terms: spawned.load(Ordering::Relaxed),
+                    gates: restricted.num_gates(),
+                });
+            }
+            let positions = order_positions(&ports);
+            let forced: Vec<(usize, bool)> = positions
+                .iter()
+                .enumerate()
+                .map(|(j, &pos)| (pos, pattern >> j & 1 == 1))
+                .collect();
+            let mut term_sat = config.sat.clone();
+            term_sat.force_inputs = forced.clone();
+            if width < max_depth {
+                // Terms that can still be subdivided additionally run under
+                // the engine's resplit budgets — merged with (never
+                // replacing) any soft budget the caller already put on
+                // `config.sat`, so a user-supplied budget behaves the same
+                // at every depth. At the depth cap only the caller's own
+                // limits apply.
+                term_sat.dip_budget = match (term_sat.dip_budget, config.term_dip_budget) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                term_sat.time_budget = match (term_sat.time_budget, config.term_time_budget) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+            let mut term_oracle = TermOracle::new(oracle, forced, &term_queries);
+            let on_dip = opts.progress.map(|progress| {
+                move |dips: u64| {
+                    progress(&ProgressEvent::Dip { pattern, width: path.width, dips })
+                }
             });
-        }
-        let forced: Vec<(usize, bool)> = positions
-            .iter()
-            .enumerate()
-            .map(|(j, &pos)| (pos, pattern >> j & 1 == 1))
-            .collect();
-        let mut term_sat = config.sat.clone();
-        term_sat.force_inputs = forced.clone();
-        let mut term_oracle = TermOracle { shared: oracle, forced, queries: 0 };
-        let on_dip = opts
-            .progress
-            .map(|progress| move |dips: u64| progress(&ProgressEvent::Dip { pattern, dips }));
-        let term_ctl = RunCtl {
-            deadline: opts.ctl.deadline,
-            cancel: opts.ctl.cancel,
-            on_dip: on_dip.as_ref().map(|f| f as &(dyn Fn(u64) + Sync)),
-        };
-        let outcome: SatAttackOutcome =
-            run_sat_attack(&restricted, &mut term_oracle, &term_sat, &term_ctl)?;
-        let report = SubTaskReport {
-            pattern,
-            status: outcome.status,
-            dips: outcome.stats.dips,
-            oracle_queries: outcome.stats.oracle_queries,
-            oracle_rounds: outcome.stats.oracle_rounds,
-            epochs: outcome.stats.epochs,
-            solver: outcome.stats.solver,
-            wall_time: term_start.elapsed(),
-            gates_before: locked.num_gates(),
-            gates_after: restricted.num_gates(),
-        };
-        if let Some(progress) = opts.progress {
-            progress(&ProgressEvent::TermFinished {
+            let term_ctl = RunCtl {
+                deadline: opts.ctl.deadline,
+                cancel: opts.ctl.cancel,
+                on_dip: on_dip.as_ref().map(|f| f as &(dyn Fn(u64) + Sync)),
+            };
+            let outcome = run_sat_attack(&restricted, &mut term_oracle, &term_sat, &term_ctl)?;
+            let report = SubTaskReport {
                 pattern,
-                status: report.status,
-                dips: report.dips,
-                wall_time: report.wall_time,
-            });
+                width: path.width,
+                status: outcome.status,
+                dips: outcome.stats.dips,
+                oracle_queries: outcome.stats.oracle_queries,
+                oracle_rounds: outcome.stats.oracle_rounds,
+                epochs: outcome.stats.epochs,
+                solver: outcome.stats.solver,
+                wall_time: term_start.elapsed(),
+                gates_before: locked.num_gates(),
+                gates_after: restricted.num_gates(),
+            };
+            if let Some(progress) = opts.progress {
+                progress(&ProgressEvent::TermFinished {
+                    pattern,
+                    width: path.width,
+                    status: report.status,
+                    dips: report.dips,
+                    wall_time: report.wall_time,
+                });
+            }
+            if report.status == AttackStatus::BudgetExhausted && width < max_depth {
+                extend_split_order(&restricted, width)?;
+                if let Some(progress) = opts.progress {
+                    progress(&ProgressEvent::TermSplit {
+                        pattern,
+                        width: path.width,
+                        dips: report.dips,
+                    });
+                }
+                let children = [
+                    TermPath { pattern, width: path.width + 1 },
+                    TermPath { pattern: pattern | 1u64 << width, width: path.width + 1 },
+                ];
+                return Ok(TermOutput::Split(report, children));
+            }
+            let key = outcome.key.map(|key| SubKey { pattern, width: path.width, key });
+            Ok(TermOutput::Leaf(report, key))
+        }));
+        match attempt {
+            Ok(result) => result,
+            // No progress emission here: the panicking party may *be* the
+            // progress callback. The report keeps the served-query count;
+            // DIP/solver counters died with the term's local state.
+            Err(_panic) => Ok(TermOutput::Leaf(
+                SubTaskReport {
+                    pattern,
+                    width: path.width,
+                    status: AttackStatus::Failed,
+                    dips: 0,
+                    oracle_queries: term_queries.load(Ordering::Relaxed),
+                    oracle_rounds: 0,
+                    epochs: 0,
+                    solver: SolverStats::default(),
+                    wall_time: term_start.elapsed(),
+                    gates_before: locked.num_gates(),
+                    gates_after: 0,
+                },
+                None,
+            )),
         }
-        let key = outcome.key.map(|key| SubKey { pattern, key });
-        Ok((report, key))
     };
 
-    // Dispatch the terms over a bounded worker pool: `threads = None`
-    // keeps the historical one-thread-per-term behavior (the paper's
-    // 16-core setup at N = 4); `threads = Some(k)` caps concurrency with
-    // workers pulling terms from a shared queue.
-    let workers = opts.threads.unwrap_or(num_terms).clamp(1, num_terms.max(1));
-    let mut results: Vec<(SubTaskReport, Option<SubKey>)> = if workers > 1 {
-        let next = AtomicUsize::new(0);
-        let per_worker: Vec<Vec<(SubTaskReport, Option<SubKey>)>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        scope.spawn(|| {
-                            let mut done = Vec::new();
-                            loop {
-                                let i = next.fetch_add(1, Ordering::Relaxed);
-                                let Some(&pattern) = terms.get(i) else { break };
-                                done.push(run_term(pattern)?);
-                            }
-                            Ok::<_, AttackError>(done)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("attack thread must not panic"))
-                    .collect::<Result<Vec<_>, AttackError>>()
-            })?;
-        per_worker.into_iter().flatten().collect()
+    // Dispatch over a bounded worker pool pulling from a shared queue:
+    // `threads = None` keeps one thread per root term (the paper's 16-core
+    // setup at N = 4), widened to the machine's parallelism in adaptive
+    // mode so freshly split children find idle workers; `threads = Some(k)`
+    // caps concurrency.
+    let sched = Scheduler {
+        state: Mutex::new(SchedState {
+            queue: (0..num_root_terms as u64)
+                .map(|pattern| TermPath { pattern, width: n as u8 })
+                .collect(),
+            in_flight: 0,
+            results: Vec::new(),
+            resplits: Vec::new(),
+            error: None,
+        }),
+        cv: Condvar::new(),
+    };
+    let worker = || {
+        loop {
+            let path = {
+                let mut st = sched.lock();
+                loop {
+                    if st.error.is_some() {
+                        st.queue.clear();
+                    }
+                    if let Some(p) = st.queue.pop_front() {
+                        st.in_flight += 1;
+                        break Some(p);
+                    }
+                    if st.in_flight == 0 {
+                        break None;
+                    }
+                    st = sched.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            let Some(path) = path else {
+                // Wake any peers still waiting so they observe the drained
+                // queue and exit too.
+                sched.cv.notify_all();
+                return;
+            };
+            let output = run_term(path);
+            let mut st = sched.lock();
+            // Saturating: if the defensive join-error path already zeroed
+            // the in-flight count, a late completion must not underflow.
+            st.in_flight = st.in_flight.saturating_sub(1);
+            match output {
+                Ok(TermOutput::Leaf(report, key)) => st.results.push((report, key)),
+                Ok(TermOutput::Split(report, children)) => {
+                    st.resplits.push(report);
+                    spawned.fetch_add(children.len(), Ordering::Relaxed);
+                    st.queue.extend(children);
+                }
+                Err(e) => {
+                    // First error wins; the queue is drained so in-flight
+                    // siblings finish and every worker exits.
+                    st.error.get_or_insert(e);
+                    st.queue.clear();
+                }
+            }
+            drop(st);
+            sched.cv.notify_all();
+        }
+    };
+
+    let default_workers = if adaptive {
+        num_root_terms.max(std::thread::available_parallelism().map_or(1, |p| p.get()))
     } else {
-        terms.iter().map(|&p| run_term(p)).collect::<Result<Vec<_>, _>>()?
+        num_root_terms
     };
+    let workers = opts.threads.unwrap_or(default_workers).clamp(1, default_workers.max(1));
+    if workers > 1 {
+        std::thread::scope(|scope| {
+            // The worker closure captures only shared references, so it is
+            // `Copy`: each spawn gets its own handle to the same state.
+            let handles: Vec<_> = (0..workers).map(|_| scope.spawn(worker)).collect();
+            for handle in handles {
+                if handle.join().is_err() {
+                    // Workers recover term panics internally; a panic at
+                    // this level is a scheduler bug, but even then one
+                    // worker's death must not take the session down — or
+                    // strand its in-flight slot and wedge the peers.
+                    let mut st = sched.lock();
+                    st.error.get_or_insert(AttackError::SessionConfig {
+                        message: "an attack worker thread panicked outside a term \
+                                  boundary (engine bug)"
+                            .into(),
+                    });
+                    st.queue.clear();
+                    st.in_flight = 0;
+                    drop(st);
+                    sched.cv.notify_all();
+                }
+            }
+        });
+    } else {
+        worker();
+    }
 
-    results.sort_by_key(|(r, _)| r.pattern);
+    let mut st = sched.state.into_inner().unwrap_or_else(PoisonError::into_inner);
+    if let Some(e) = st.error.take() {
+        return Err(e);
+    }
+    st.results.sort_by_key(|(r, _)| (r.width, r.pattern));
+    st.resplits.sort_by_key(|r| (r.width, r.pattern));
     let mut keys = Vec::new();
-    let mut reports = Vec::with_capacity(results.len());
-    for (report, key) in results {
+    let mut reports = Vec::with_capacity(st.results.len());
+    for (report, key) in st.results {
         if let Some(k) = key {
             keys.push(k);
         }
         reports.push(report);
     }
-    Ok(MultiKeyOutcome { keys, reports, split_inputs, wall_time: start.elapsed() })
+    let split_inputs = split_order.into_inner().unwrap_or_else(PoisonError::into_inner);
+    Ok(MultiKeyOutcome {
+        keys,
+        reports,
+        resplit_reports: st.resplits,
+        split_inputs,
+        wall_time: start.elapsed(),
+    })
 }
 
 #[cfg(test)]
@@ -423,7 +690,7 @@ mod tests {
 
     /// A sub-key must unlock its sub-space exactly.
     fn check_subspace(original: &Netlist, locked: &Netlist, split: &[NodeId], sub: &SubKey) {
-        let positions: Vec<usize> = split
+        let positions: Vec<usize> = split[..sub.width as usize]
             .iter()
             .map(|id| locked.inputs().iter().position(|p| p == id).unwrap())
             .collect();
@@ -432,16 +699,15 @@ mod tests {
         let ni = original.inputs().len();
         for v in 0..(1u64 << ni) {
             let bits = bits_of(v, ni);
-            let in_subspace = positions
-                .iter()
-                .enumerate()
-                .all(|(j, &pos)| bits[pos] == (sub.pattern >> j & 1 == 1));
+            let in_subspace =
+                positions.iter().enumerate().all(|(j, &pos)| bits[pos] == sub.split_bit(j));
             if in_subspace {
                 assert_eq!(
                     lsim.eval(&bits, sub.key.bits()),
                     orig.eval(&bits, &[]),
-                    "pattern {:b} sub-key must unlock input {v:03b}",
-                    sub.pattern
+                    "pattern {:b}/{} sub-key must unlock input {v:03b}",
+                    sub.pattern,
+                    sub.width
                 );
             }
         }
@@ -456,7 +722,9 @@ mod tests {
         assert!(outcome.is_complete());
         assert_eq!(outcome.keys.len(), 2);
         assert_eq!(outcome.reports.len(), 2);
+        assert!(outcome.resplit_reports.is_empty(), "static runs never resplit");
         for sub in &outcome.keys {
+            assert_eq!(sub.width, 1);
             check_subspace(&nl, &locked, &outcome.split_inputs, sub);
         }
     }
@@ -472,7 +740,7 @@ mod tests {
         for sub in &outcome.keys {
             check_subspace(&nl, &locked, &outcome.split_inputs, sub);
         }
-        // Patterns are 0..4 in order.
+        // Patterns are 0..4 in order (uniform width sorts numerically).
         let patterns: Vec<u64> = outcome.keys.iter().map(|k| k.pattern).collect();
         assert_eq!(patterns, vec![0, 1, 2, 3]);
     }
@@ -486,6 +754,7 @@ mod tests {
         assert!(outcome.is_complete());
         assert_eq!(outcome.keys.len(), 1);
         assert_eq!(outcome.keys[0].pattern, 0);
+        assert_eq!(outcome.keys[0].width, 0);
         // With N = 0 the sub-space is the whole space: the key is globally
         // correct.
         check_subspace(&nl, &locked, &[], &outcome.keys[0]);
@@ -509,6 +778,43 @@ mod tests {
             dips_by_n[1] < dips_by_n[0] && dips_by_n[2] < dips_by_n[1],
             "#DIP must shrink with N: {dips_by_n:?}"
         );
+    }
+
+    #[test]
+    fn adaptive_budget_splits_hard_terms_deeper() {
+        // SARLock |K| = 3 needs ~7 DIPs at the root; a budget of 2 forces
+        // the engine to subdivide until each leaf converges within budget.
+        let (nl, locked, _) = locked_majority(0b101);
+        let mut config = MultiKeyConfig::with_split_effort(0);
+        config.parallel = false;
+        config.term_dip_budget = Some(2);
+        let outcome = multi_key_attack(&locked, &nl, &config).unwrap();
+        assert!(outcome.is_complete(), "statuses: {:?}", outcome.reports);
+        assert!(outcome.max_depth() > 0, "the root term must have been subdivided");
+        assert!(!outcome.resplit_reports.is_empty());
+        for r in &outcome.resplit_reports {
+            assert_eq!(r.status, AttackStatus::BudgetExhausted);
+            assert!(r.dips <= 2, "budgeted term overspent: {} DIPs", r.dips);
+        }
+        // The final tree's split order covers its deepest leaf.
+        assert!(outcome.split_inputs.len() >= outcome.max_depth());
+        // Every leaf key still unlocks exactly its sub-space.
+        for sub in &outcome.keys {
+            check_subspace(&nl, &locked, &outcome.split_inputs, sub);
+        }
+    }
+
+    #[test]
+    fn adaptive_depth_cap_limits_the_tree() {
+        let (nl, locked, _) = locked_majority(0b011);
+        let mut config = MultiKeyConfig::with_split_effort(0);
+        config.parallel = false;
+        config.term_dip_budget = Some(1);
+        config.max_split_depth = Some(1);
+        let outcome = multi_key_attack(&locked, &nl, &config).unwrap();
+        // At the cap terms run without the soft budget, so they converge.
+        assert!(outcome.is_complete());
+        assert!(outcome.max_depth() <= 1);
     }
 
     #[test]
@@ -554,6 +860,31 @@ mod tests {
         assert!(matches!(
             multi_key_attack(&locked, &nl, &config),
             Err(AttackError::SplitTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn split_effort_64_rejected_not_wrapped() {
+        // Regression: `1u64 << 64` wraps to 1 in release (one silent term)
+        // and panics in debug. The engine must reject the configuration
+        // before any shift happens — even when the circuit has 64 inputs,
+        // which the old `n > inputs` check waved through.
+        let mut nl = Netlist::new("wide64");
+        let inputs: Vec<NodeId> =
+            (0..64).map(|i| nl.add_input(format!("x{i}")).unwrap()).collect();
+        let y = nl.add_gate("y", GateKind::Or, &inputs).unwrap();
+        nl.mark_output(y).unwrap();
+        let config = MultiKeyConfig::with_split_effort(64);
+        assert!(matches!(
+            multi_key_attack(&nl, &nl, &config),
+            Err(AttackError::SplitTooDeep { requested: 64, max: MAX_SPLIT_WIDTH })
+        ));
+        // An over-deep resplit cap is rejected the same way.
+        let mut config = MultiKeyConfig::with_split_effort(1);
+        config.max_split_depth = Some(64);
+        assert!(matches!(
+            multi_key_attack(&nl, &nl, &config),
+            Err(AttackError::SplitTooDeep { requested: 64, max: MAX_SPLIT_WIDTH })
         ));
     }
 }

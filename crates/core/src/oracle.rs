@@ -8,6 +8,9 @@
 //! the split bits (the sub-attack may ask about any input, but the answers
 //! must correspond to the sub-space being attacked).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
 use polykey_netlist::{pack_patterns, unpack_patterns, Netlist, NetlistError, Simulator};
 
 /// Black-box input/output access to the original (unlocked) circuit.
@@ -157,6 +160,111 @@ pub(crate) fn apply_forced(input: &[bool], forced: &[(usize, bool)]) -> Vec<bool
     forced_input
 }
 
+/// An oracle shared by concurrent sub-attacks: queries are serialized
+/// behind a mutex, so any `Send` oracle — simulated, restricted, or a
+/// custom hardware harness — serves every term of the multi-key engine.
+pub(crate) struct SharedOracle<'o> {
+    inner: Mutex<&'o mut (dyn Oracle + Send)>,
+    num_inputs: usize,
+    num_outputs: usize,
+}
+
+impl<'o> SharedOracle<'o> {
+    pub(crate) fn new(oracle: &'o mut (dyn Oracle + Send)) -> SharedOracle<'o> {
+        let num_inputs = oracle.num_inputs();
+        let num_outputs = oracle.num_outputs();
+        SharedOracle { inner: Mutex::new(oracle), num_inputs, num_outputs }
+    }
+
+    pub(crate) fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    pub(crate) fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// Locks the shared oracle, *recovering* a poisoned mutex: a term
+    /// whose oracle panicked mid-query poisons the lock, but the oracle
+    /// itself (a query-in, response-out device) holds no half-applied
+    /// invariants, and propagating the poison would cascade one term's
+    /// panic into every sibling and then the whole session.
+    fn lock(&self) -> MutexGuard<'_, &'o mut (dyn Oracle + Send)> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// One term's view of the shared oracle: split bits are forced to the
+/// term's pattern — at whatever depth the adaptive tree has reached —
+/// before each query. Queries are counted per term through a counter the
+/// *caller* owns, outside the engine's panic boundary, and the count is
+/// taken from the underlying oracle's *own* delta: a term whose oracle
+/// crashes mid-run (even mid-batch) still reports exactly the queries the
+/// oracle says it served, so session totals keep reconciling with
+/// [`Oracle::queries`] after a panic.
+pub(crate) struct TermOracle<'a, 'o> {
+    shared: &'a SharedOracle<'o>,
+    forced: Vec<(usize, bool)>,
+    queries: &'a AtomicU64,
+}
+
+impl<'a, 'o> TermOracle<'a, 'o> {
+    /// A term view forcing the `(input position, value)` pairs of one
+    /// prefix-tree path, counting served queries into `queries`.
+    pub(crate) fn new(
+        shared: &'a SharedOracle<'o>,
+        forced: Vec<(usize, bool)>,
+        queries: &'a AtomicU64,
+    ) -> TermOracle<'a, 'o> {
+        TermOracle { shared, forced, queries }
+    }
+
+    /// Runs `call` against the locked inner oracle, crediting this term
+    /// with however many queries the inner oracle's counter advanced —
+    /// *including* the partial progress of a call that panics, which is
+    /// re-raised after the count lands.
+    fn serve<R>(&mut self, call: impl FnOnce(&mut (dyn Oracle + Send)) -> R) -> R {
+        let mut inner = self.shared.lock();
+        let before = inner.queries();
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| call(&mut **inner)));
+        let served = inner.queries().saturating_sub(before);
+        self.queries.fetch_add(served, Ordering::Relaxed);
+        match result {
+            Ok(response) => response,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+}
+
+impl Oracle for TermOracle<'_, '_> {
+    fn num_inputs(&self) -> usize {
+        self.shared.num_inputs()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.shared.num_outputs()
+    }
+
+    fn query(&mut self, input: &[bool]) -> Vec<bool> {
+        let forced_input = apply_forced(input, &self.forced);
+        self.serve(|inner| inner.query(&forced_input))
+    }
+
+    fn query_batch(&mut self, inputs: &[Vec<bool>]) -> Vec<Vec<bool>> {
+        let forced_inputs: Vec<Vec<bool>> =
+            inputs.iter().map(|input| apply_forced(input, &self.forced)).collect();
+        // One lock acquisition serves the whole batch, so concurrent terms
+        // amortize contention on the shared oracle along with the
+        // round-trip itself.
+        self.serve(|inner| inner.query_batch(&forced_inputs))
+    }
+
+    fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+}
+
 /// Wraps an oracle so that selected input positions are forced to fixed
 /// values before each query — the oracle view of one sub-space term in the
 /// multi-key attack.
@@ -302,6 +410,26 @@ mod tests {
             restricted.query_batch(&[vec![false, false], vec![true, false], vec![false, true]]);
         assert_eq!(responses, vec![vec![true], vec![true], vec![false]]);
         assert_eq!(restricted.queries(), 3);
+    }
+
+    #[test]
+    fn shared_oracle_recovers_from_a_poisoned_lock() {
+        // A panic while holding the shared-oracle lock (a crashing oracle
+        // mid-query) must not cascade: sibling terms recover the mutex and
+        // keep querying.
+        let nl = xor2();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        let shared = SharedOracle::new(&mut oracle);
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = shared.lock();
+            panic!("oracle crashed mid-query");
+        }));
+        assert!(poisoned.is_err());
+        let served = AtomicU64::new(0);
+        let mut term = TermOracle::new(&shared, vec![(0, true)], &served);
+        assert_eq!(term.query(&[false, false]), vec![true]);
+        assert_eq!(term.query_batch(&[vec![false, true]]), vec![vec![false]]);
+        assert_eq!(term.queries(), 2);
     }
 
     #[test]

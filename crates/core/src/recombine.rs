@@ -1,66 +1,182 @@
-//! Multi-key recombination — Fig. 1(b) of the paper.
+//! Multi-key recombination — Fig. 1(b) of the paper, generalized to the
+//! adaptive term tree.
 //!
-//! Given the `2^N` sub-space keys recovered by the multi-key attack, build
-//! an *unlocked* netlist: each key port of the locked design is driven by a
-//! MUX tree that selects, based on the live values of the `N` split ports,
+//! Given the sub-space keys recovered by the multi-key attack, build an
+//! *unlocked* netlist: each key port of the locked design is driven by a
+//! MUX tree that selects, based on the live values of the split ports,
 //! the sub-key recovered for that sub-space. The result has no key inputs
 //! and is functionally equivalent to the original design — even though
 //! every individual sub-key may be globally incorrect.
+//!
+//! Keys are identified by `(pattern, width)` prefix-tree paths (see
+//! [`SubKey`]), so the key set may mix depths: a static `N`-grid is the
+//! special case where every path has `width == N`. The only requirement
+//! is that the paths form an **exact cover** of the input space — pairwise
+//! disjoint (no path a prefix of another) and jointly exhaustive — which
+//! this module validates before building anything.
 
 use polykey_netlist::{GateKind, Netlist, NodeId};
 
 use crate::error::AttackError;
-use crate::multikey::SubKey;
+use crate::multikey::{SubKey, MAX_SPLIT_WIDTH};
 
-/// Builds the recombined, keyless netlist from sub-space keys.
-///
-/// `split_inputs` are the ports (ids in `locked`) the attack split on, in
-/// pattern bit order; `keys` must contain exactly one entry per pattern in
-/// `0..2^N`, each of full key width.
-///
-/// # Errors
-///
-/// - [`AttackError::BadKeySet`] if patterns are missing/duplicated or a key
-///   has the wrong width.
-/// - [`AttackError::Netlist`] for structural failures.
-pub fn recombine_multikey(
+/// The canonical trie order of a path: pattern bit 0 is the most
+/// significant comparison bit, so a prefix sorts immediately before its
+/// extensions and sibling subtrees stay contiguous.
+fn canon(sub: &SubKey) -> (u64, u8) {
+    let mut key = 0u64;
+    for j in 0..sub.width as usize {
+        key |= (sub.pattern >> j & 1) << (63 - j);
+    }
+    (key, sub.width)
+}
+
+/// True iff `a`'s path is a prefix of `b`'s (equal paths included).
+fn is_prefix(a: &SubKey, b: &SubKey) -> bool {
+    a.width <= b.width && {
+        let mask = if a.width == 0 { 0 } else { (1u64 << a.width) - 1 };
+        a.pattern & mask == b.pattern & mask
+    }
+}
+
+/// Validates that `keys` form an exact prefix cover and that every key has
+/// the locked design's key width; returns them in canonical trie order.
+fn validate_cover<'k>(
     locked: &Netlist,
     split_inputs: &[NodeId],
-    keys: &[SubKey],
-) -> Result<Netlist, AttackError> {
-    let n = split_inputs.len();
-    let expected = 1usize << n;
-    if keys.len() != expected {
-        return Err(AttackError::BadKeySet {
-            message: format!("need {expected} sub-keys for N={n}, got {}", keys.len()),
-        });
+    keys: &'k [SubKey],
+) -> Result<Vec<&'k SubKey>, AttackError> {
+    if keys.is_empty() {
+        return Err(AttackError::BadKeySet { message: "empty key set".into() });
     }
-    let mut by_pattern: Vec<Option<&SubKey>> = vec![None; expected];
     for sub in keys {
-        let idx = sub.pattern as usize;
-        if idx >= expected {
+        let width = sub.width as usize;
+        if width > MAX_SPLIT_WIDTH {
             return Err(AttackError::BadKeySet {
-                message: format!("pattern {:#b} out of range for N={n}", sub.pattern),
+                message: format!(
+                    "path width {width} exceeds the maximum split width {MAX_SPLIT_WIDTH}"
+                ),
             });
         }
-        if by_pattern[idx].is_some() {
+        if width > split_inputs.len() {
             return Err(AttackError::BadKeySet {
-                message: format!("duplicate pattern {:#b}", sub.pattern),
+                message: format!(
+                    "path {:#b} has width {width} but only {} split ports were given",
+                    sub.pattern,
+                    split_inputs.len()
+                ),
+            });
+        }
+        if width < 64 && sub.pattern >> width != 0 {
+            return Err(AttackError::BadKeySet {
+                message: format!(
+                    "path {:#b} sets bits at or above its width {width}",
+                    sub.pattern
+                ),
             });
         }
         if sub.key.len() != locked.key_inputs().len() {
             return Err(AttackError::BadKeySet {
                 message: format!(
-                    "sub-key for pattern {:#b} has width {}, locked design has {} key ports",
+                    "sub-key for path {:#b}/{width} has width {}, locked design has {} key \
+                     ports",
                     sub.pattern,
                     sub.key.len(),
                     locked.key_inputs().len()
                 ),
             });
         }
-        by_pattern[idx] = Some(sub);
     }
-    for &id in split_inputs {
+    let mut sorted: Vec<&SubKey> = keys.iter().collect();
+    sorted.sort_by_key(|k| canon(k));
+    // Disjointness: in canonical order, a path that is a prefix of any
+    // other path in the set sorts immediately before one of its
+    // extensions, so checking adjacent pairs catches every overlap
+    // (duplicates included).
+    for pair in sorted.windows(2) {
+        if is_prefix(pair[0], pair[1]) {
+            return Err(AttackError::BadKeySet {
+                message: format!(
+                    "overlapping paths: {:#b}/{} covers {:#b}/{}",
+                    pair[0].pattern, pair[0].width, pair[1].pattern, pair[1].width
+                ),
+            });
+        }
+    }
+    // Coverage: disjoint paths cover the space iff their measures sum to
+    // the whole. Widths are <= 63, so u128 arithmetic cannot overflow —
+    // this replaces the old `keys.len() == 1 << n` check, which wrapped
+    // at n = 64.
+    let deepest = sorted.iter().map(|k| k.width as usize).max().expect("non-empty");
+    let covered: u128 = sorted.iter().map(|k| 1u128 << (deepest - k.width as usize)).sum();
+    if covered != 1u128 << deepest {
+        return Err(AttackError::BadKeySet {
+            message: format!(
+                "paths cover {covered}/{} of the deepest level: the prefix tree has gaps",
+                1u128 << deepest
+            ),
+        });
+    }
+    Ok(sorted)
+}
+
+/// Recursively builds the MUX tree for one key bit over a canonical-order
+/// slice of the prefix cover.
+#[allow(clippy::too_many_arguments)]
+fn build_mux(
+    out: &mut Netlist,
+    selects: &[NodeId],
+    sorted: &[&SubKey],
+    depth: usize,
+    bit: usize,
+    leaf0: NodeId,
+    leaf1: NodeId,
+    counter: &mut usize,
+) -> Result<NodeId, AttackError> {
+    if sorted.len() == 1 && sorted[0].width as usize == depth {
+        return Ok(if sorted[0].key.bit(bit) { leaf1 } else { leaf0 });
+    }
+    // Canonical order puts the bit-`depth` = 0 subtree first; an exact
+    // cover guarantees both halves are non-empty here.
+    let split_at = sorted.partition_point(|k| k.pattern >> depth & 1 == 0);
+    if split_at == 0 || split_at == sorted.len() {
+        // Unreachable on a validated cover; kept as a real error so a
+        // future validation bug cannot turn into unbounded recursion.
+        return Err(AttackError::BadKeySet {
+            message: format!("prefix tree is one-sided at depth {depth} (engine bug)"),
+        });
+    }
+    let lo =
+        build_mux(out, selects, &sorted[..split_at], depth + 1, bit, leaf0, leaf1, counter)?;
+    let hi =
+        build_mux(out, selects, &sorted[split_at..], depth + 1, bit, leaf0, leaf1, counter)?;
+    let name = format!("mk$k{bit}_m{depth}_{counter}");
+    *counter += 1;
+    Ok(out.add_gate(name, GateKind::Mux, &[selects[depth], lo, hi])?)
+}
+
+/// Builds the recombined, keyless netlist from sub-space keys.
+///
+/// `split_inputs` are the ports (ids in `locked`) the attack split on, in
+/// pattern bit order; `keys` are `(pattern, width)` prefix-tree paths that
+/// must form an exact cover of the input space — a flat `2^N` grid, an
+/// adaptive mixed-depth tree, or the single `width = 0` key of a plain SAT
+/// attack all qualify.
+///
+/// # Errors
+///
+/// - [`AttackError::BadKeySet`] if the paths overlap, leave gaps, set bits
+///   above their width, exceed the split ports given, or a key has the
+///   wrong width.
+/// - [`AttackError::Netlist`] for structural failures.
+pub fn recombine_multikey(
+    locked: &Netlist,
+    split_inputs: &[NodeId],
+    keys: &[SubKey],
+) -> Result<Netlist, AttackError> {
+    let sorted = validate_cover(locked, split_inputs, keys)?;
+    let deepest = sorted.iter().map(|k| k.width as usize).max().expect("non-empty");
+    for &id in &split_inputs[..deepest] {
         if !locked.inputs().contains(&id) {
             return Err(AttackError::BadKeySet {
                 message: format!("split port {id} is not a primary input of the locked design"),
@@ -78,33 +194,24 @@ pub fn recombine_multikey(
     // Shared constant nodes for MUX-tree leaves.
     let const0 = out.add_const("mk$zero", false)?;
     let const1 = out.add_const("mk$one", true)?;
-    let leaf = |b: bool| if b { const1 } else { const0 };
-    let selects: Vec<NodeId> =
-        split_inputs.iter().map(|id| map[id.index()].expect("inputs mapped")).collect();
+    let selects: Vec<NodeId> = split_inputs[..deepest]
+        .iter()
+        .map(|id| map[id.index()].expect("inputs mapped"))
+        .collect();
 
     // Drive each key port with a MUX tree over the split ports.
     for (j, &ki) in locked.key_inputs().iter().enumerate() {
-        let bits: Vec<bool> =
-            (0..expected).map(|p| by_pattern[p].expect("checked").key.bit(j)).collect();
-        let driver = if bits.iter().all(|&b| b == bits[0]) {
+        let first = sorted[0].key.bit(j);
+        let driver = if sorted.iter().all(|k| k.key.bit(j) == first) {
             // All sub-keys agree on this bit: a plain constant.
-            leaf(bits[0])
-        } else {
-            let mut layer: Vec<NodeId> = bits.iter().map(|&b| leaf(b)).collect();
-            for (level, &sel) in selects.iter().enumerate() {
-                let mut next = Vec::with_capacity(layer.len() / 2);
-                for (pair, chunk) in layer.chunks(2).enumerate() {
-                    let m = out.add_gate(
-                        format!("mk$k{j}_m{level}_{pair}"),
-                        GateKind::Mux,
-                        &[sel, chunk[0], chunk[1]],
-                    )?;
-                    next.push(m);
-                }
-                layer = next;
+            if first {
+                const1
+            } else {
+                const0
             }
-            debug_assert_eq!(layer.len(), 1);
-            layer[0]
+        } else {
+            let mut counter = 0;
+            build_mux(&mut out, &selects, &sorted, 0, j, const0, const1, &mut counter)?
         };
         map[ki.index()] = Some(driver);
     }
@@ -176,6 +283,30 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_attack_recombines_to_equivalence() {
+        // The heterogeneous-depth path: a tight per-term budget forces
+        // resplits, and the mixed-width prefix tree must still recombine
+        // to the exact original function.
+        let nl = majority3();
+        let locked = Sarlock::new(3).lock(&nl, &Key::from_u64(0b110, 3)).unwrap();
+        let mut oracle = crate::oracle::SimOracle::new(&nl).unwrap();
+        let report = AttackSession::builder()
+            .oracle(&mut oracle)
+            .term_dip_budget(2)
+            .threads(1)
+            .build()
+            .unwrap()
+            .run(&locked.netlist)
+            .unwrap();
+        assert!(report.is_complete());
+        let outcome = report.as_multi_key().expect("adaptive runs use the multi-key engine");
+        assert!(outcome.max_depth() > 0, "the budget must have forced a split");
+        let recombined = report.recombine(&locked.netlist).unwrap();
+        assert!(recombined.key_inputs().is_empty());
+        assert_eq!(check_equivalence(&nl, &recombined).unwrap(), EquivResult::Equivalent);
+    }
+
+    #[test]
     fn recombination_with_manual_keys() {
         // Hand-build the Fig. 1(b) scenario: two sub-keys, MUX on one bit.
         let nl = majority3();
@@ -189,8 +320,9 @@ mod tests {
         // use the known-correct key for one half and a provably sub-space
         // correct key for the other.
         let keys = vec![
-            SubKey { pattern: 0, key: Key::from_u64(0b101, 3) }, // bit0=1 ⇒ never matches x0=0
-            SubKey { pattern: 1, key: correct.clone() },
+            // bit0=1 ⇒ never matches x0=0
+            SubKey { pattern: 0, width: 1, key: Key::from_u64(0b101, 3) },
+            SubKey { pattern: 1, width: 1, key: correct.clone() },
         ];
         let recombined = recombine_multikey(&locked.netlist, &split, &keys).unwrap();
         let mut orig = Simulator::new(&nl).unwrap();
@@ -202,11 +334,29 @@ mod tests {
     }
 
     #[test]
+    fn mixed_depth_cover_with_manual_keys() {
+        // A hand-built adaptive tree: {0} at depth 1, {10, 11} at depth 2.
+        // Using the correct key everywhere must recombine to equivalence
+        // regardless of the tree shape.
+        let nl = majority3();
+        let correct = Key::from_u64(0b011, 3);
+        let locked = Sarlock::new(3).lock(&nl, &correct).unwrap();
+        let split = vec![locked.netlist.inputs()[0], locked.netlist.inputs()[1]];
+        let keys = vec![
+            SubKey { pattern: 0b0, width: 1, key: correct.clone() },
+            SubKey { pattern: 0b01, width: 2, key: correct.clone() },
+            SubKey { pattern: 0b11, width: 2, key: correct.clone() },
+        ];
+        let recombined = recombine_multikey(&locked.netlist, &split, &keys).unwrap();
+        assert_eq!(check_equivalence(&nl, &recombined).unwrap(), EquivResult::Equivalent);
+    }
+
+    #[test]
     fn missing_pattern_rejected() {
         let nl = majority3();
         let locked = Sarlock::new(3).lock(&nl, &Key::from_u64(0, 3)).unwrap();
         let split = vec![locked.netlist.inputs()[0]];
-        let keys = vec![SubKey { pattern: 0, key: Key::from_u64(0, 3) }];
+        let keys = vec![SubKey { pattern: 0, width: 1, key: Key::from_u64(0, 3) }];
         let err = recombine_multikey(&locked.netlist, &split, &keys).unwrap_err();
         assert!(matches!(err, AttackError::BadKeySet { .. }));
     }
@@ -217,9 +367,36 @@ mod tests {
         let locked = Sarlock::new(3).lock(&nl, &Key::from_u64(0, 3)).unwrap();
         let split = vec![locked.netlist.inputs()[0]];
         let keys = vec![
-            SubKey { pattern: 1, key: Key::from_u64(0, 3) },
-            SubKey { pattern: 1, key: Key::from_u64(1, 3) },
+            SubKey { pattern: 1, width: 1, key: Key::from_u64(0, 3) },
+            SubKey { pattern: 1, width: 1, key: Key::from_u64(1, 3) },
         ];
+        assert!(matches!(
+            recombine_multikey(&locked.netlist, &split, &keys),
+            Err(AttackError::BadKeySet { .. })
+        ));
+    }
+
+    #[test]
+    fn overlapping_prefix_rejected() {
+        // Path 0/1 covers both 00/2 and 01/2: the set double-covers half
+        // the space (and leaves the x0=1 half empty).
+        let nl = majority3();
+        let locked = Sarlock::new(3).lock(&nl, &Key::from_u64(0, 3)).unwrap();
+        let split: Vec<NodeId> = locked.netlist.inputs()[..2].to_vec();
+        let keys = vec![
+            SubKey { pattern: 0b0, width: 1, key: Key::from_u64(0, 3) },
+            SubKey { pattern: 0b00, width: 2, key: Key::from_u64(1, 3) },
+        ];
+        let err = recombine_multikey(&locked.netlist, &split, &keys).unwrap_err();
+        assert!(err.to_string().contains("overlapping"), "{err}");
+    }
+
+    #[test]
+    fn stray_bits_above_width_rejected() {
+        let nl = majority3();
+        let locked = Sarlock::new(3).lock(&nl, &Key::from_u64(0, 3)).unwrap();
+        let split = vec![locked.netlist.inputs()[0]];
+        let keys = vec![SubKey { pattern: 0b10, width: 1, key: Key::from_u64(0, 3) }];
         assert!(matches!(
             recombine_multikey(&locked.netlist, &split, &keys),
             Err(AttackError::BadKeySet { .. })
@@ -230,7 +407,7 @@ mod tests {
     fn wrong_key_width_rejected() {
         let nl = majority3();
         let locked = Sarlock::new(3).lock(&nl, &Key::from_u64(0, 3)).unwrap();
-        let keys = vec![SubKey { pattern: 0, key: Key::from_u64(0, 2) }];
+        let keys = vec![SubKey { pattern: 0, width: 0, key: Key::from_u64(0, 2) }];
         assert!(matches!(
             recombine_multikey(&locked.netlist, &[], &keys),
             Err(AttackError::BadKeySet { .. })
@@ -243,7 +420,7 @@ mod tests {
         let nl = majority3();
         let correct = Key::from_u64(0b110, 3);
         let locked = Sarlock::new(3).lock(&nl, &correct).unwrap();
-        let keys = vec![SubKey { pattern: 0, key: correct }];
+        let keys = vec![SubKey { pattern: 0, width: 0, key: correct }];
         let recombined = recombine_multikey(&locked.netlist, &[], &keys).unwrap();
         assert_eq!(check_equivalence(&nl, &recombined).unwrap(), EquivResult::Equivalent);
     }

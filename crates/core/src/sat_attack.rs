@@ -73,6 +73,20 @@ pub struct SatAttackConfig {
     /// attack and of the paper's tooling, whose per-iteration CNF growth is
     /// what makes LUT-based insertion expensive in Table 2.
     pub fold_dip_copies: bool,
+    /// Soft DIP budget: stop with [`AttackStatus::BudgetExhausted`] after
+    /// this many DIPs (None = no budget). Unlike [`SatAttackConfig::max_dips`]
+    /// — a hard user-facing cap reported as [`AttackStatus::DipLimit`] —
+    /// exhausting this budget is a *scheduling* signal: the adaptive
+    /// multi-key engine reads it as "this term is too hard at its current
+    /// depth, split it deeper". When both are set and reached together,
+    /// the hard cap wins.
+    pub dip_budget: Option<u64>,
+    /// Soft wall-clock budget for this run: expiring it reports
+    /// [`AttackStatus::BudgetExhausted`] (with partial stats) instead of
+    /// [`AttackStatus::TimeLimit`], which remains reserved for the hard
+    /// `time_limit` / session deadline. Used by the adaptive multi-key
+    /// engine as the per-term resplit trigger.
+    pub time_budget: Option<Duration>,
     /// Maximum DIPs harvested per oracle round-trip (values `0` and `1`
     /// both mean the classic one-DIP-per-round loop).
     ///
@@ -116,8 +130,17 @@ pub enum AttackStatus {
     DipLimit,
     /// Stopped at the configured time limit.
     TimeLimit,
+    /// Stopped at a *soft* per-run budget ([`SatAttackConfig::dip_budget`]
+    /// / [`SatAttackConfig::time_budget`]) with partial stats intact. The
+    /// adaptive multi-key scheduler reacts by splitting the term one port
+    /// deeper and re-attacking both halves.
+    BudgetExhausted,
     /// Stopped by a [`crate::CancelToken`].
     Cancelled,
+    /// The sub-attack's worker panicked (e.g. a crashing oracle). The
+    /// multi-key engine recovers the panic at the term boundary and
+    /// reports the term as failed instead of taking down the session.
+    Failed,
     /// No key is consistent with the oracle responses (wrong oracle or
     /// corrupted netlist).
     Inconsistent,
@@ -276,12 +299,30 @@ pub(crate) fn run_sat_attack(
         });
     }
     let start = Instant::now();
-    // The earlier of the session deadline and this run's own time limit.
-    let deadline = match (ctl.deadline, config.time_limit) {
+    // The earlier of the session deadline and this run's own time limit
+    // (hard stops, reported as `TimeLimit`).
+    let hard_deadline = match (ctl.deadline, config.time_limit) {
         (Some(d), Some(limit)) => Some(d.min(start + limit)),
         (Some(d), None) => Some(d),
         (None, Some(limit)) => Some(start + limit),
         (None, None) => None,
+    };
+    // The soft per-run budget (reported as `BudgetExhausted`); the solver
+    // runs against whichever deadline comes first.
+    let soft_deadline = config.time_budget.map(|budget| start + budget);
+    let deadline = match (hard_deadline, soft_deadline) {
+        (Some(h), Some(s)) => Some(h.min(s)),
+        (h, s) => h.or(s),
+    };
+    // Which status an expired clock maps to: the hard deadline wins when
+    // both have passed, so a session timeout is never misread as a
+    // resplit request.
+    let expiry_status = move |now: Instant| -> AttackStatus {
+        match (hard_deadline, soft_deadline) {
+            (Some(h), _) if now >= h => AttackStatus::TimeLimit,
+            (_, Some(s)) if now >= s => AttackStatus::BudgetExhausted,
+            _ => AttackStatus::TimeLimit,
+        }
     };
     let queries_at_start = oracle.queries();
     let mut solver = Solver::with_config(config.solver);
@@ -342,7 +383,7 @@ pub(crate) fn run_sat_attack(
             let now = Instant::now();
             if now >= dl {
                 return Ok(finish(
-                    AttackStatus::TimeLimit,
+                    expiry_status(now),
                     None,
                     dips,
                     oracle_rounds,
@@ -357,7 +398,7 @@ pub(crate) fn run_sat_attack(
         match solver.solve(&[miter.diff]) {
             SolveResult::Unknown => {
                 return Ok(finish(
-                    AttackStatus::TimeLimit,
+                    expiry_status(Instant::now()),
                     None,
                     dips,
                     oracle_rounds,
@@ -368,6 +409,22 @@ pub(crate) fn run_sat_attack(
                 ));
             }
             SolveResult::Sat => {
+                // The miter is still satisfiable, so more DIPs are needed:
+                // a spent soft budget means this term is too hard at its
+                // current depth. (Checked only here — a term that converges
+                // exactly at its budget still succeeds.)
+                if config.dip_budget.is_some_and(|budget| dips >= budget) {
+                    return Ok(finish(
+                        AttackStatus::BudgetExhausted,
+                        None,
+                        dips,
+                        oracle_rounds,
+                        epochs,
+                        dip_patterns,
+                        &solver,
+                        oracle,
+                    ));
+                }
                 epochs += 1;
                 // Harvest up to `dip_batch` distinct DIPs before paying the
                 // oracle round-trip. After each harvested DIP the two
@@ -383,9 +440,14 @@ pub(crate) fn run_sat_attack(
                 // circuit encodings over the classic loop.
                 let mut batch: Vec<PendingDip> = Vec::new();
                 let mut dip = extract_dip(&solver);
-                let target = match config.max_dips {
-                    // Never harvest past the DIP limit.
-                    Some(max) => config.dip_batch.max(1).min((max - dips) as usize),
+                // Never harvest past the DIP limit or the soft DIP budget.
+                let remaining = [config.max_dips, config.dip_budget]
+                    .into_iter()
+                    .flatten()
+                    .map(|cap| cap.saturating_sub(dips))
+                    .min();
+                let target = match remaining {
+                    Some(r) => config.dip_batch.max(1).min((r.max(1)) as usize),
                     None => config.dip_batch.max(1),
                 };
                 loop {
@@ -496,7 +558,11 @@ pub(crate) fn run_sat_attack(
                         oracle,
                     ));
                 }
-                if let Some(dl) = deadline {
+                // Only the *hard* deadline gates key extraction: the search
+                // has converged, so a soft budget expiring here must not
+                // discard the (one cheap solve away) key and force a
+                // pointless resplit.
+                if let Some(dl) = hard_deadline {
                     let now = Instant::now();
                     if now >= dl {
                         return Ok(finish(
@@ -511,6 +577,9 @@ pub(crate) fn run_sat_attack(
                         ));
                     }
                     solver.set_time_budget(Some(dl - now));
+                } else {
+                    // Clear any stale soft-budget allowance from the loop.
+                    solver.set_time_budget(None);
                 }
                 return match solver.solve(&[]) {
                     SolveResult::Sat => {
@@ -776,6 +845,71 @@ mod tests {
             sat_attack(&nl, &mut oracle, &SatAttackConfig::new()),
             Err(AttackError::OracleMismatch { what: "inputs", .. })
         ));
+    }
+
+    #[test]
+    fn dip_budget_stops_softly_with_partial_stats() {
+        // SARLock |K| = 3 needs ~7 DIPs; a soft budget of 2 must stop the
+        // run as BudgetExhausted (a resplit request), not DipLimit.
+        let nl = majority3();
+        let key = polykey_locking::Key::from_u64(0b101, 3);
+        let locked = lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &key).unwrap();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        let mut config = SatAttackConfig::new();
+        config.dip_budget = Some(2);
+        let outcome = sat_attack(&locked.netlist, &mut oracle, &config).unwrap();
+        assert_eq!(outcome.status, AttackStatus::BudgetExhausted);
+        assert_eq!(outcome.stats.dips, 2, "partial stats must survive");
+        assert_eq!(outcome.stats.oracle_queries, 2);
+        assert!(outcome.key.is_none());
+    }
+
+    #[test]
+    fn converging_exactly_at_the_budget_still_succeeds() {
+        // The budget only fires when more DIPs are *needed*: a run whose
+        // budget equals its natural DIP count must still extract the key.
+        let nl = majority3();
+        let key = polykey_locking::Key::from_u64(0b011, 3);
+        let locked = lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &key).unwrap();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        let unbudgeted =
+            sat_attack(&locked.netlist, &mut oracle, &SatAttackConfig::new()).unwrap();
+        assert!(unbudgeted.is_success());
+        let mut config = SatAttackConfig::new();
+        config.dip_budget = Some(unbudgeted.stats.dips);
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        let outcome = sat_attack(&locked.netlist, &mut oracle, &config).unwrap();
+        assert!(outcome.is_success());
+        assert_eq!(outcome.stats.dips, unbudgeted.stats.dips);
+    }
+
+    #[test]
+    fn zero_time_budget_reports_budget_exhausted() {
+        // The soft clock maps to BudgetExhausted; the hard `time_limit`
+        // keeps reporting TimeLimit (see `time_limit_reports_timeout`).
+        let nl = majority3();
+        let key = polykey_locking::Key::from_u64(0b110, 3);
+        let locked = lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &key).unwrap();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        let mut config = SatAttackConfig::new();
+        config.time_budget = Some(Duration::ZERO);
+        let outcome = sat_attack(&locked.netlist, &mut oracle, &config).unwrap();
+        assert_eq!(outcome.status, AttackStatus::BudgetExhausted);
+    }
+
+    #[test]
+    fn hard_deadline_outranks_soft_budget() {
+        // With both clocks at zero the hard limit wins: a session timeout
+        // must never be misread as a resplit request.
+        let nl = majority3();
+        let key = polykey_locking::Key::from_u64(0b001, 3);
+        let locked = lock_sarlock_with_key(&nl, &SarlockConfig::new(3), &key).unwrap();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        let mut config = SatAttackConfig::new();
+        config.time_limit = Some(Duration::ZERO);
+        config.time_budget = Some(Duration::ZERO);
+        let outcome = sat_attack(&locked.netlist, &mut oracle, &config).unwrap();
+        assert_eq!(outcome.status, AttackStatus::TimeLimit);
     }
 
     #[test]

@@ -55,10 +55,8 @@ use polykey_netlist::{Netlist, NodeId};
 use polykey_sat::{SolverConfig, SolverStats};
 
 use crate::error::AttackError;
-use crate::multikey::{
-    run_multi_key, EngineOpts, MultiKeyConfig, MultiKeyOutcome, SharedOracle, SubKey,
-};
-use crate::oracle::Oracle;
+use crate::multikey::{run_multi_key, EngineOpts, MultiKeyConfig, MultiKeyOutcome, SubKey};
+use crate::oracle::{Oracle, SharedOracle};
 use crate::recombine::recombine_multikey;
 use crate::sat_attack::{
     run_sat_attack, AttackStatus, RunCtl, SatAttackConfig, SatAttackOutcome,
@@ -100,32 +98,51 @@ impl CancelToken {
 #[derive(Clone, Debug)]
 pub enum ProgressEvent {
     /// A sub-attack (term) is about to start. The plain SAT attack reports
-    /// one term with `pattern = 0`.
+    /// one term with `pattern = 0, width = 0`.
     TermStarted {
-        /// The term's split-bit assignment.
+        /// The term's prefix-tree path (see [`crate::SubKey::pattern`]).
         pattern: u64,
-        /// Total number of terms in this session run.
+        /// The path's width (depth in the adaptive term tree).
+        width: u8,
+        /// Terms spawned so far in this session run. Static runs report
+        /// the fixed `2^N` count; adaptive runs grow it with every
+        /// resplit.
         terms: usize,
         /// Gates in the netlist this term attacks (after cofactoring).
         gates: usize,
     },
     /// A distinguishing input pattern was found.
     Dip {
-        /// The term that found it.
+        /// The path of the term that found it.
         pattern: u64,
+        /// That term's path width.
+        width: u8,
         /// That term's running DIP count.
         dips: u64,
     },
-    /// A sub-attack finished.
+    /// A sub-attack finished (for budget-exhausted terms, a
+    /// [`ProgressEvent::TermSplit`] follows).
     TermFinished {
-        /// The term's split-bit assignment.
+        /// The term's prefix-tree path.
         pattern: u64,
+        /// The path's width.
+        width: u8,
         /// How the term ended.
         status: AttackStatus,
         /// The term's final DIP count.
         dips: u64,
         /// The term's wall-clock time.
         wall_time: Duration,
+    },
+    /// A term exhausted its per-term budget and was subdivided: its two
+    /// children (paths one bit wider) re-enter the work queue.
+    TermSplit {
+        /// The exhausted term's prefix-tree path.
+        pattern: u64,
+        /// The path's width (children have `width + 1`).
+        width: u8,
+        /// DIPs the term spent before giving up (kept in the totals).
+        dips: u64,
     },
 }
 
@@ -199,28 +216,30 @@ impl AttackReport {
     }
 
     /// The recovered globally-correct key, when one exists: the one-key
-    /// attack's key, or the single term key of a multi-key run at `N = 0`.
+    /// attack's key, or the single width-0 term key of a multi-key run
+    /// that never actually split.
     #[must_use]
     pub fn key(&self) -> Option<&Key> {
         match self {
             AttackReport::SingleKey(outcome) => outcome.key.as_ref(),
-            AttackReport::MultiKey(outcome) => {
-                match (&outcome.keys[..], &outcome.split_inputs[..]) {
-                    ([sub], []) => Some(&sub.key),
-                    _ => None,
-                }
-            }
+            AttackReport::MultiKey(outcome) => match &outcome.keys[..] {
+                [sub] if sub.width == 0 => Some(&sub.key),
+                _ => None,
+            },
         }
     }
 
-    /// The recovered sub-space keys: one per successful term (the one-key
-    /// attack yields a single `pattern = 0` entry).
+    /// The recovered sub-space keys: one per successful leaf term (the
+    /// one-key attack yields a single `pattern = 0, width = 0` entry).
     #[must_use]
     pub fn sub_keys(&self) -> Vec<SubKey> {
         match self {
-            AttackReport::SingleKey(outcome) => {
-                outcome.key.clone().map(|key| SubKey { pattern: 0, key }).into_iter().collect()
-            }
+            AttackReport::SingleKey(outcome) => outcome
+                .key
+                .clone()
+                .map(|key| SubKey { pattern: 0, width: 0, key })
+                .into_iter()
+                .collect(),
             AttackReport::MultiKey(outcome) => outcome.keys.clone(),
         }
     }
@@ -247,14 +266,17 @@ impl AttackReport {
                 wall_time: outcome.stats.wall_time,
                 subtask_wall_times: vec![outcome.stats.wall_time],
             },
+            // Sums run over every term that did work — leaves *and*
+            // budget-exhausted interior terms — so oracle/solver
+            // accounting matches what was actually spent.
             AttackReport::MultiKey(outcome) => AttackStats {
-                dips: outcome.reports.iter().map(|r| r.dips).sum(),
-                oracle_queries: outcome.reports.iter().map(|r| r.oracle_queries).sum(),
-                oracle_rounds: outcome.reports.iter().map(|r| r.oracle_rounds).sum(),
-                epochs: outcome.reports.iter().map(|r| r.epochs).sum(),
-                solver: outcome.reports.iter().map(|r| r.solver).sum(),
+                dips: outcome.all_reports().map(|r| r.dips).sum(),
+                oracle_queries: outcome.all_reports().map(|r| r.oracle_queries).sum(),
+                oracle_rounds: outcome.all_reports().map(|r| r.oracle_rounds).sum(),
+                epochs: outcome.all_reports().map(|r| r.epochs).sum(),
+                solver: outcome.all_reports().map(|r| r.solver).sum(),
                 wall_time: outcome.wall_time,
-                subtask_wall_times: outcome.reports.iter().map(|r| r.wall_time).collect(),
+                subtask_wall_times: outcome.all_reports().map(|r| r.wall_time).collect(),
             },
         }
     }
@@ -316,6 +338,9 @@ pub struct AttackSessionBuilder<'a> {
     record_dips: bool,
     textbook: bool,
     dip_batch: usize,
+    term_dip_budget: Option<u64>,
+    term_time_budget: Option<Duration>,
+    max_split_depth: Option<usize>,
     solver: SolverConfig,
     on_progress: Option<Box<ProgressFn<'a>>>,
     cancel: Option<CancelToken>,
@@ -343,6 +368,9 @@ impl<'a> AttackSessionBuilder<'a> {
             record_dips: true,
             textbook: false,
             dip_batch: 1,
+            term_dip_budget: None,
+            term_time_budget: None,
+            max_split_depth: None,
             solver: SolverConfig::default(),
             on_progress: None,
             cancel: None,
@@ -463,6 +491,76 @@ impl<'a> AttackSessionBuilder<'a> {
         self
     }
 
+    /// Turns on **adaptive splitting** with a per-term DIP budget: a term
+    /// that spends `budget` DIPs without converging is split one port
+    /// deeper — re-ranking the remaining inputs on the term's own
+    /// cofactored netlist — and its two children re-enter the work queue.
+    /// Easy sub-spaces finish shallow; hard ones (say, the SARLock term
+    /// containing the protected pattern) are subdivided until they yield.
+    ///
+    /// Works from any root effort, including `split_effort(0)`: the tree
+    /// then grows purely on demand. See also
+    /// [`AttackSessionBuilder::term_time_budget`] and
+    /// [`AttackSessionBuilder::max_split_depth`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use polykey_attack::{AttackSession, SimOracle};
+    /// use polykey_encode::{check_equivalence, EquivResult};
+    /// use polykey_locking::{Key, LockScheme, Sarlock};
+    /// use polykey_netlist::{GateKind, Netlist};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut nl = Netlist::new("toy");
+    /// let a = nl.add_input("a")?;
+    /// let b = nl.add_input("b")?;
+    /// let c = nl.add_input("c")?;
+    /// let g = nl.add_gate("g", GateKind::And, &[a, b])?;
+    /// let y = nl.add_gate("y", GateKind::Xor, &[g, c])?;
+    /// nl.mark_output(y)?;
+    /// let locked = Sarlock::new(3).lock(&nl, &Key::from_u64(5, 3))?;
+    ///
+    /// // SARLock |K| = 3 needs ~7 DIPs in one piece; a budget of 2 makes
+    /// // the engine grow a term tree instead, and the mixed-depth keys
+    /// // still recombine to the exact original design.
+    /// let mut oracle = SimOracle::new(&nl)?;
+    /// let report = AttackSession::builder()
+    ///     .oracle(&mut oracle)
+    ///     .term_dip_budget(2)
+    ///     .build()?
+    ///     .run(&locked.netlist)?;
+    /// assert!(report.is_complete());
+    /// let outcome = report.as_multi_key().expect("adaptive runs split");
+    /// assert!(outcome.max_depth() > 0);
+    /// let unlocked = report.recombine(&locked.netlist)?;
+    /// assert_eq!(check_equivalence(&nl, &unlocked)?, EquivResult::Equivalent);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn term_dip_budget(mut self, budget: u64) -> Self {
+        self.term_dip_budget = Some(budget);
+        self
+    }
+
+    /// Turns on adaptive splitting with a per-term wall-clock budget: a
+    /// term still unconverged after `budget` is split one port deeper (see
+    /// [`AttackSessionBuilder::term_dip_budget`]). Both budgets may be set
+    /// together; whichever exhausts first triggers the resplit.
+    pub fn term_time_budget(mut self, budget: Duration) -> Self {
+        self.term_time_budget = Some(budget);
+        self
+    }
+
+    /// Caps how deep adaptive resplitting may grow the term tree. Terms
+    /// at the cap attack without the soft budgets (they can no longer be
+    /// subdivided, so giving up early would serve nothing). Default: as
+    /// deep as the input count and [`crate::MAX_SPLIT_WIDTH`] allow.
+    pub fn max_split_depth(mut self, depth: usize) -> Self {
+        self.max_split_depth = Some(depth);
+        self
+    }
+
     /// Overrides the CDCL solver configuration.
     pub fn solver(mut self, solver: SolverConfig) -> Self {
         self.solver = solver;
@@ -507,6 +605,38 @@ impl<'a> AttackSessionBuilder<'a> {
                 message: "`dip_batch` must be at least 1".into(),
             });
         }
+        if self.term_dip_budget == Some(0) {
+            return Err(AttackError::SessionConfig {
+                message: "`term_dip_budget` must be at least 1".into(),
+            });
+        }
+        if self.term_time_budget == Some(Duration::ZERO) {
+            // A zero budget expires before a term's first solver call:
+            // every term would split without doing any work, expanding the
+            // tree to the full grid at the depth cap.
+            return Err(AttackError::SessionConfig {
+                message: "`term_time_budget` must be non-zero".into(),
+            });
+        }
+        if let Some(depth) = self.max_split_depth {
+            if depth > crate::MAX_SPLIT_WIDTH {
+                return Err(AttackError::SessionConfig {
+                    message: format!(
+                        "`max_split_depth` {depth} exceeds the engine's maximum split \
+                         width {}",
+                        crate::MAX_SPLIT_WIDTH
+                    ),
+                });
+            }
+            if depth < self.split_effort {
+                return Err(AttackError::SessionConfig {
+                    message: format!(
+                        "`max_split_depth` {depth} is shallower than `split_effort` {}",
+                        self.split_effort
+                    ),
+                });
+            }
+        }
         Ok(AttackSession {
             oracle,
             split_effort: self.split_effort,
@@ -518,6 +648,9 @@ impl<'a> AttackSessionBuilder<'a> {
             record_dips: self.record_dips,
             textbook: self.textbook,
             dip_batch: self.dip_batch,
+            term_dip_budget: self.term_dip_budget,
+            term_time_budget: self.term_time_budget,
+            max_split_depth: self.max_split_depth,
             solver: self.solver,
             on_progress: self.on_progress,
             cancel: self.cancel,
@@ -540,6 +673,9 @@ pub struct AttackSession<'a> {
     record_dips: bool,
     textbook: bool,
     dip_batch: usize,
+    term_dip_budget: Option<u64>,
+    term_time_budget: Option<Duration>,
+    max_split_depth: Option<usize>,
     solver: SolverConfig,
     on_progress: Option<Box<ProgressFn<'a>>>,
     cancel: Option<CancelToken>,
@@ -559,6 +695,9 @@ impl<'a> AttackSession<'a> {
     ///   disagree with the locked netlist.
     /// - [`AttackError::SplitTooWide`] if the splitting effort exceeds the
     ///   input count.
+    /// - [`AttackError::SplitTooDeep`] if the splitting effort exceeds
+    ///   [`crate::MAX_SPLIT_WIDTH`] (u64 sub-space patterns cannot pin
+    ///   more than 63 ports).
     /// - Structural errors from cofactoring or encoding.
     pub fn run(&mut self, locked: &Netlist) -> Result<AttackReport, AttackError> {
         let deadline = self.time_budget.map(|budget| Instant::now() + budget);
@@ -570,18 +709,25 @@ impl<'a> AttackSession<'a> {
             record_dips: self.record_dips,
             fold_dip_copies: !self.textbook,
             dip_batch: self.dip_batch,
+            dip_budget: None,
+            time_budget: None,
         };
         let progress = self.on_progress.as_deref();
-        if self.split_effort == 0 {
+        // A per-term budget means adaptive splitting, which lives in the
+        // multi-key engine — even from a width-0 root, where the term tree
+        // grows purely on demand.
+        let adaptive = self.term_dip_budget.is_some() || self.term_time_budget.is_some();
+        if self.split_effort == 0 && !adaptive {
             if let Some(progress) = progress {
                 progress(&ProgressEvent::TermStarted {
                     pattern: 0,
+                    width: 0,
                     terms: 1,
                     gates: locked.num_gates(),
                 });
             }
             let on_dip = progress.map(|progress| {
-                move |dips: u64| progress(&ProgressEvent::Dip { pattern: 0, dips })
+                move |dips: u64| progress(&ProgressEvent::Dip { pattern: 0, width: 0, dips })
             });
             let ctl = RunCtl {
                 deadline,
@@ -592,6 +738,7 @@ impl<'a> AttackSession<'a> {
             if let Some(progress) = progress {
                 progress(&ProgressEvent::TermFinished {
                     pattern: 0,
+                    width: 0,
                     status: outcome.status,
                     dips: outcome.stats.dips,
                     wall_time: outcome.stats.wall_time,
@@ -607,6 +754,9 @@ impl<'a> AttackSession<'a> {
                 strategy: self.strategy,
                 simplify: self.simplify,
                 sat,
+                term_dip_budget: self.term_dip_budget,
+                term_time_budget: self.term_time_budget,
+                max_split_depth: self.max_split_depth,
                 ..MultiKeyConfig::default()
             };
             let shared = SharedOracle::new(self.oracle);
@@ -668,6 +818,82 @@ mod tests {
             AttackSession::builder().oracle(&mut oracle).dip_batch(0).build(),
             Err(AttackError::SessionConfig { .. })
         ));
+    }
+
+    #[test]
+    fn zero_term_dip_budget_rejected() {
+        let nl = majority3();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        assert!(matches!(
+            AttackSession::builder().oracle(&mut oracle).term_dip_budget(0).build(),
+            Err(AttackError::SessionConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_term_time_budget_rejected() {
+        // A zero soft clock would expire before any work: every term below
+        // the depth cap would split immediately, blowing the tree up to
+        // the full grid.
+        let nl = majority3();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        assert!(matches!(
+            AttackSession::builder()
+                .oracle(&mut oracle)
+                .term_time_budget(Duration::ZERO)
+                .build(),
+            Err(AttackError::SessionConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_max_split_depth_rejected() {
+        let nl = majority3();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        // Deeper than the u64 pattern representation…
+        assert!(matches!(
+            AttackSession::builder().oracle(&mut oracle).max_split_depth(64).build(),
+            Err(AttackError::SessionConfig { .. })
+        ));
+        // …or shallower than the root effort.
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        assert!(matches!(
+            AttackSession::builder()
+                .oracle(&mut oracle)
+                .split_effort(3)
+                .max_split_depth(2)
+                .build(),
+            Err(AttackError::SessionConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn panicking_progress_callback_fails_the_term_not_the_session() {
+        // Regression: the TermFinished emission used to sit outside the
+        // term's panic boundary, so a panicking callback killed the worker
+        // with its in-flight slot still counted — wedging every sibling on
+        // the condvar and hanging run() forever.
+        let nl = majority3();
+        let locked = Sarlock::new(3).lock(&nl, &Key::from_u64(0b101, 3)).unwrap();
+        let mut oracle = SimOracle::new(&nl).unwrap();
+        let report = AttackSession::builder()
+            .oracle(&mut oracle)
+            .split_effort(1)
+            .threads(2)
+            .on_progress(|e| {
+                if matches!(e, ProgressEvent::TermFinished { pattern: 1, .. }) {
+                    panic!("user callback bug");
+                }
+            })
+            .build()
+            .unwrap()
+            .run(&locked.netlist)
+            .expect("the session must survive a panicking callback");
+        let outcome = report.as_multi_key().expect("N > 0");
+        let statuses: Vec<AttackStatus> = outcome.reports.iter().map(|r| r.status).collect();
+        assert_eq!(statuses.len(), 2);
+        assert!(statuses.contains(&AttackStatus::Failed), "{statuses:?}");
+        assert!(statuses.contains(&AttackStatus::Success), "{statuses:?}");
     }
 
     #[test]

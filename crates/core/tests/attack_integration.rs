@@ -4,9 +4,10 @@
 
 use polykey_attack::{
     appsat_attack, select_split_inputs, verify_key, verify_key_on_subspace, AppSatConfig,
-    AttackReport, AttackSession, AttackStatus, Oracle, SimOracle, SplitStrategy,
+    AttackError, AttackReport, AttackSession, AttackStatus, Oracle, SimOracle, SplitStrategy,
+    MAX_SPLIT_WIDTH,
 };
-use polykey_circuits::{arith, generate_random, RandomCircuitSpec};
+use polykey_circuits::{arith, generate_random, Iscas85, RandomCircuitSpec};
 use polykey_encode::{check_equivalence, EquivResult};
 use polykey_locking::{AntiSat, Key, LockScheme, LutLock, Rll, Sarlock};
 use polykey_netlist::Netlist;
@@ -211,6 +212,190 @@ fn multikey_oracle_accounting() {
     // every term requires at least one solver round.
     assert!(report.stats().dips >= 1);
     assert_eq!(oracle.queries(), report.stats().oracle_queries);
+}
+
+/// The acceptance pipeline for adaptive splitting: on a SARLock-locked
+/// ISCAS cell, a per-term DIP budget must (a) recombine to the same formal
+/// equivalence a static `N` achieves, (b) subdivide at least one hard term
+/// deeper than the root `N`, and (c) keep every leaf within budget.
+#[test]
+fn adaptive_budget_matches_static_equivalence_on_sarlock_iscas() {
+    let original = Iscas85::C432.build();
+    let locked =
+        Sarlock::new(6).lock(&original, &Key::from_u64(0b101101, 6)).expect("lockable");
+
+    // Static N = 2 reference: 4 terms, each eliminating ~2^4 wrong keys.
+    let mut oracle = SimOracle::new(&original).expect("oracle");
+    let static_report = AttackSession::builder()
+        .oracle(&mut oracle)
+        .split_effort(2)
+        .record_dips(false)
+        .build()
+        .unwrap()
+        .run(&locked.netlist)
+        .expect("runs");
+    assert!(static_report.is_complete());
+    let rec = static_report.recombine(&locked.netlist).expect("recombine");
+    assert_eq!(check_equivalence(&original, &rec).expect("equiv"), EquivResult::Equivalent);
+
+    // Adaptive: root N = 1 with a DIP budget of 8. The comparator-pinned
+    // term needs ~2^5 DIPs at depth 1, so it must subdivide past the root.
+    let mut oracle = SimOracle::new(&original).expect("oracle");
+    let adaptive_report = AttackSession::builder()
+        .oracle(&mut oracle)
+        .split_effort(1)
+        .term_dip_budget(8)
+        .record_dips(false)
+        .build()
+        .unwrap()
+        .run(&locked.netlist)
+        .expect("runs");
+    assert!(adaptive_report.is_complete());
+    let outcome = adaptive_report.as_multi_key().expect("N > 0");
+    assert!(
+        outcome.max_depth() > 1,
+        "a hard term must have split deeper than the root (depths: {:?})",
+        outcome.reports.iter().map(|r| r.width).collect::<Vec<_>>()
+    );
+    assert!(!outcome.resplit_reports.is_empty());
+    assert!(
+        outcome.reports.iter().all(|r| r.dips <= 8),
+        "every leaf converged within its budget"
+    );
+    assert_eq!(oracle.queries(), adaptive_report.stats().oracle_queries);
+    let rec = adaptive_report.recombine(&locked.netlist).expect("recombine");
+    assert_eq!(check_equivalence(&original, &rec).expect("equiv"), EquivResult::Equivalent);
+}
+
+/// An oracle whose k-th query panics — the "hardware fault" rig for the
+/// poisoned-mutex regression tests.
+struct PanickingOracle<'a> {
+    inner: SimOracle<'a>,
+    /// Panic once, on exactly this (1-based) query…
+    panic_at: Option<u64>,
+    /// …or on this and every later query.
+    poison_from: Option<u64>,
+    seen: u64,
+}
+
+impl<'a> PanickingOracle<'a> {
+    fn once_at(inner: SimOracle<'a>, panic_at: u64) -> Self {
+        PanickingOracle { inner, panic_at: Some(panic_at), poison_from: None, seen: 0 }
+    }
+
+    fn from_query(inner: SimOracle<'a>, poison_from: u64) -> Self {
+        PanickingOracle { inner, panic_at: None, poison_from: Some(poison_from), seen: 0 }
+    }
+}
+
+impl Oracle for PanickingOracle<'_> {
+    fn num_inputs(&self) -> usize {
+        self.inner.num_inputs()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.inner.num_outputs()
+    }
+
+    fn query(&mut self, input: &[bool]) -> Vec<bool> {
+        self.seen += 1;
+        if self.panic_at == Some(self.seen) || self.poison_from.is_some_and(|k| self.seen >= k)
+        {
+            panic!("oracle hardware fault at query {}", self.seen);
+        }
+        self.inner.query(input)
+    }
+
+    fn queries(&self) -> u64 {
+        self.inner.queries()
+    }
+}
+
+/// One term's oracle panicking mid-run (poisoning the shared mutex) fails
+/// that term only: its siblings recover the lock, finish, and the session
+/// returns a report instead of panicking.
+#[test]
+fn panicking_oracle_fails_one_term_not_the_session() {
+    let original = arith::ripple_adder(2);
+    let locked = Sarlock::new(4).lock(&original, &Key::from_u64(0b0110, 4)).expect("lockable");
+    let inner = SimOracle::new(&original).expect("oracle");
+    let mut oracle = PanickingOracle::once_at(inner, 3);
+    let report = AttackSession::builder()
+        .oracle(&mut oracle)
+        .split_effort(1)
+        .threads(1)
+        // A batch width > 1 makes the panic land mid-batch, exercising the
+        // partial-batch accounting path.
+        .dip_batch(4)
+        .build()
+        .unwrap()
+        .run(&locked.netlist)
+        .expect("the session must survive the panic");
+    let outcome = report.as_multi_key().expect("N > 0");
+    assert!(!report.is_complete());
+    assert_eq!(report.status(), AttackStatus::Failed);
+    let statuses: Vec<AttackStatus> = outcome.reports.iter().map(|r| r.status).collect();
+    assert_eq!(
+        statuses.iter().filter(|&&s| s == AttackStatus::Failed).count(),
+        1,
+        "exactly one term failed: {statuses:?}"
+    );
+    assert_eq!(
+        statuses.iter().filter(|&&s| s == AttackStatus::Success).count(),
+        1,
+        "the sibling term recovered the poisoned oracle lock: {statuses:?}"
+    );
+    // The surviving term's key is still sub-space correct.
+    assert_eq!(report.sub_keys().len(), 1);
+    // Served-query accounting survives the panic: the failed term reports
+    // the queries the oracle actually answered before crashing (counted
+    // outside the panic boundary), so the totals still reconcile.
+    assert_eq!(oracle.queries(), report.stats().oracle_queries);
+}
+
+/// The same recovery under a parallel worker pool: every term's oracle
+/// access panics, every term reports `Failed`, nothing propagates.
+#[test]
+fn fully_poisoned_oracle_fails_every_term_gracefully() {
+    let original = arith::ripple_adder(2);
+    let locked = Sarlock::new(4).lock(&original, &Key::from_u64(0b1001, 4)).expect("lockable");
+    let inner = SimOracle::new(&original).expect("oracle");
+    let mut oracle = PanickingOracle::from_query(inner, 1);
+    let report = AttackSession::builder()
+        .oracle(&mut oracle)
+        .split_effort(2)
+        .threads(4)
+        .build()
+        .unwrap()
+        .run(&locked.netlist)
+        .expect("the session must survive every panic");
+    let outcome = report.as_multi_key().expect("N > 0");
+    assert_eq!(outcome.reports.len(), 4);
+    assert!(outcome.reports.iter().all(|r| r.status == AttackStatus::Failed));
+    assert!(report.sub_keys().is_empty());
+}
+
+/// Regression for the split-width overflow: `1u64 << 64` used to wrap to
+/// one silent term in release builds. A 64-input circuit at `N = 64` —
+/// which the old `n > inputs` check accepted — must now error out.
+#[test]
+fn split_effort_64_is_rejected_at_the_session_surface() {
+    let mut nl = polykey_netlist::Netlist::new("wide64");
+    let inputs: Vec<_> = (0..64).map(|i| nl.add_input(format!("x{i}")).unwrap()).collect();
+    let y = nl.add_gate("y", polykey_netlist::GateKind::Or, &inputs).unwrap();
+    nl.mark_output(y).unwrap();
+    let mut oracle = SimOracle::new(&nl).expect("oracle");
+    let err = AttackSession::builder()
+        .oracle(&mut oracle)
+        .split_effort(64)
+        .build()
+        .unwrap()
+        .run(&nl)
+        .expect_err("must be rejected");
+    assert!(
+        matches!(err, AttackError::SplitTooDeep { requested: 64, max: MAX_SPLIT_WIDTH }),
+        "{err}"
+    );
 }
 
 /// The deprecated free functions must keep producing the same results as

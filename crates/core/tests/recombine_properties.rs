@@ -1,0 +1,184 @@
+//! Property tests for prefix-tree recombination: random adaptive-depth
+//! key sets must recombine to a netlist equivalent to the original, and
+//! malformed sets — overlapping, non-covering, or duplicated paths — must
+//! be rejected with `BadKeySet`.
+//!
+//! The rig is a 4-input circuit locked with a 2-bit SARLock whose
+//! comparator sits on inputs 0 and 1. Splitting on exactly those ports
+//! makes sub-space-correct-but-globally-wrong keys easy to construct: a
+//! key whose comparator bit `j` disagrees with the pinned value of split
+//! port `j` never matches any input of that sub-space, so it never flips
+//! the output there.
+
+use proptest::prelude::*;
+
+use polykey_attack::{recombine_multikey, AttackError, SubKey};
+use polykey_locking::{Key, LockScheme, Sarlock};
+use polykey_netlist::{bits_of, GateKind, Netlist, NodeId, Simulator};
+
+/// A tiny deterministic generator (SplitMix64) for deriving tree shapes
+/// and key choices from one proptest-supplied seed.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn bit(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+/// The victim: y = (x0 & x1) ^ (x2 | x3).
+fn base4() -> Netlist {
+    let mut nl = Netlist::new("base4");
+    let xs: Vec<NodeId> = (0..4).map(|i| nl.add_input(format!("x{i}")).unwrap()).collect();
+    let a = nl.add_gate("a", GateKind::And, &[xs[0], xs[1]]).unwrap();
+    let o = nl.add_gate("o", GateKind::Or, &[xs[2], xs[3]]).unwrap();
+    let y = nl.add_gate("y", GateKind::Xor, &[a, o]).unwrap();
+    nl.mark_output(y).unwrap();
+    nl
+}
+
+/// Locks `base4` with a 2-bit SARLock comparing inputs 0 and 1.
+fn lock4(correct: &Key) -> Netlist {
+    Sarlock::new(2)
+        .with_compare_inputs(vec![0, 1])
+        .lock(&base4(), correct)
+        .expect("lockable")
+        .netlist
+}
+
+/// Expands a random prefix tree of depth <= 2 into its leaf paths.
+fn random_paths(mix: &mut Mix) -> Vec<(u64, u8)> {
+    fn expand(mix: &mut Mix, pattern: u64, width: u8, leaves: &mut Vec<(u64, u8)>) {
+        if width < 2 && mix.bit() {
+            expand(mix, pattern, width + 1, leaves);
+            expand(mix, pattern | 1 << width, width + 1, leaves);
+        } else {
+            leaves.push((pattern, width));
+        }
+    }
+    let mut leaves = Vec::new();
+    expand(mix, 0, 0, &mut leaves);
+    leaves
+}
+
+/// Assigns each leaf a sub-space-correct key: the full-space leaf gets the
+/// correct key; pinned leaves randomly get the correct key or a wrong key
+/// whose comparator bit disagrees with one of the pinned values.
+fn random_cover(mix: &mut Mix, correct: &Key) -> Vec<SubKey> {
+    random_paths(mix)
+        .into_iter()
+        .map(|(pattern, width)| {
+            let key = if width == 0 {
+                correct.clone()
+            } else {
+                match mix.next() % 3 {
+                    0 => correct.clone(),
+                    1 => {
+                        // Comparator bit 0 disagrees with pinned port 0.
+                        let b0 = pattern & 1 == 1;
+                        Key::new(vec![!b0, mix.bit()])
+                    }
+                    _ if width == 2 => {
+                        // Comparator bit 1 disagrees with pinned port 1.
+                        let b1 = pattern >> 1 & 1 == 1;
+                        Key::new(vec![mix.bit(), !b1])
+                    }
+                    _ => correct.clone(),
+                }
+            };
+            SubKey { pattern, width, key }
+        })
+        .collect()
+}
+
+fn split_ports(locked: &Netlist) -> Vec<NodeId> {
+    locked.inputs()[..2].to_vec()
+}
+
+/// Exhaustive functional equivalence over all 16 input patterns.
+fn equivalent(original: &Netlist, recombined: &Netlist) -> bool {
+    let mut orig = Simulator::new(original).unwrap();
+    let mut rec = Simulator::new(recombined).unwrap();
+    (0..16u64).all(|v| {
+        let bits = bits_of(v, 4);
+        orig.eval(&bits, &[]) == rec.eval(&bits, &[])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any random adaptive-depth exact cover of sub-space-correct keys
+    /// recombines to the original function.
+    #[test]
+    fn random_adaptive_covers_recombine_to_equivalence(seed in any::<u64>()) {
+        let mut mix = Mix(seed);
+        let correct = Key::from_u64(mix.next() % 4, 2);
+        let original = base4();
+        let locked = lock4(&correct);
+        let keys = random_cover(&mut mix, &correct);
+        let recombined =
+            recombine_multikey(&locked, &split_ports(&locked), &keys).expect("valid cover");
+        prop_assert!(recombined.key_inputs().is_empty());
+        prop_assert!(
+            equivalent(&original, &recombined),
+            "cover {:?} must restore the function",
+            keys.iter().map(|k| (k.pattern, k.width)).collect::<Vec<_>>()
+        );
+    }
+
+    /// Adding a path that is a strict prefix of an existing leaf (its
+    /// parent) double-covers that subtree and must be rejected.
+    #[test]
+    fn overlapping_paths_rejected(seed in any::<u64>()) {
+        let mut mix = Mix(seed);
+        let correct = Key::from_u64(mix.next() % 4, 2);
+        let locked = lock4(&correct);
+        let mut keys = random_cover(&mut mix, &correct);
+        let deep = keys.iter().find(|k| k.width > 0).cloned();
+        prop_assume!(deep.is_some()); // a lone width-0 root has no parent
+        let deep = deep.unwrap();
+        keys.push(SubKey {
+            pattern: deep.pattern & ((1 << (deep.width - 1)) - 1),
+            width: deep.width - 1,
+            key: correct.clone(),
+        });
+        let err = recombine_multikey(&locked, &split_ports(&locked), &keys).unwrap_err();
+        prop_assert!(matches!(err, AttackError::BadKeySet { .. }), "{err}");
+    }
+
+    /// Removing any leaf leaves a gap (or an empty set) and must be
+    /// rejected.
+    #[test]
+    fn non_covering_sets_rejected(seed in any::<u64>()) {
+        let mut mix = Mix(seed);
+        let correct = Key::from_u64(mix.next() % 4, 2);
+        let locked = lock4(&correct);
+        let mut keys = random_cover(&mut mix, &correct);
+        let victim = (mix.next() as usize) % keys.len();
+        keys.remove(victim);
+        let err = recombine_multikey(&locked, &split_ports(&locked), &keys).unwrap_err();
+        prop_assert!(matches!(err, AttackError::BadKeySet { .. }), "{err}");
+    }
+
+    /// Duplicating any path must be rejected.
+    #[test]
+    fn duplicate_paths_rejected(seed in any::<u64>()) {
+        let mut mix = Mix(seed);
+        let correct = Key::from_u64(mix.next() % 4, 2);
+        let locked = lock4(&correct);
+        let mut keys = random_cover(&mut mix, &correct);
+        let victim = (mix.next() as usize) % keys.len();
+        keys.push(keys[victim].clone());
+        let err = recombine_multikey(&locked, &split_ports(&locked), &keys).unwrap_err();
+        prop_assert!(matches!(err, AttackError::BadKeySet { .. }), "{err}");
+    }
+}

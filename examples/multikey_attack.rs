@@ -113,5 +113,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert_eq!(check_equivalence(&original, &recombined)?, EquivResult::Equivalent);
     println!("formal check: recombined design ≡ original   [the one-key premise is broken]");
+
+    // Adaptive splitting: instead of fixing N, give every term a DIP
+    // budget. A term that exhausts it is subdivided one port at a time
+    // into a prefix tree, so the splitting effort lands exactly where the
+    // hardness is (for SARLock on its comparator ports: uniformly, until
+    // each leaf fits its budget).
+    let mut oracle = SimOracle::new(&original)?;
+    let adaptive = AttackSession::builder()
+        .oracle(&mut oracle)
+        .split_effort(1)
+        .term_dip_budget(24)
+        .dip_batch(64)
+        .build()?
+        .run(&locked.netlist)?;
+    assert!(adaptive.is_complete());
+    let tree = adaptive.as_multi_key().expect("N > 0");
+    println!(
+        "\nadaptive attack (root N = 1, budget 24 DIPs/term): {} leaves at depth {}, \
+         {} resplits, max leaf {} DIPs",
+        tree.reports.len(),
+        tree.max_depth(),
+        tree.resplit_reports.len(),
+        tree.reports.iter().map(|r| r.dips).max().unwrap_or(0)
+    );
+    let recombined_tree = adaptive.recombine(&locked.netlist)?;
+    assert_eq!(check_equivalence(&original, &recombined_tree)?, EquivResult::Equivalent);
+    println!("formal check: the adaptive prefix tree recombines to the original, too");
     Ok(())
 }
